@@ -1,0 +1,36 @@
+"""Ablation benches for the MOOP design choices (see DESIGN.md §5)."""
+
+from repro.bench.experiments import ablation
+
+
+def test_ablation_moop_design_choices(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        ablation.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    record_result("ablation_moop", result.format())
+
+    sections = {title: (headers, rows) for title, headers, rows in result.sections}
+
+    # Greedy is near-optimal and much faster than enumeration.
+    _h, rows = sections[
+        "Ablation 1: greedy Algorithm 2 vs exhaustive enumeration"
+    ]
+    metrics = {row[0]: row[1] for row in rows}
+    assert metrics["greedy score / optimal score (mean)"] < 1.25
+    assert metrics["speedup (exhaustive time / greedy time)"] > 2.0
+
+    # The log scaling keeps HDDs in play; the raw ratio abandons them.
+    _h, rows = sections[
+        "Ablation 2: replica share per tier, log vs raw throughput objective"
+    ]
+    shares = {row[0]: row for row in rows}
+    log_hdd = int(shares["log (Eq. 7)"][3].rstrip("%"))
+    raw_hdd = int(shares["raw"][3].rstrip("%"))
+    assert log_hdd > raw_hdd
+
+    # The memory cap delays volatile-tier exhaustion substantially.
+    _h, rows = sections[
+        "Ablation 4: memory cap under a throughput-greedy policy"
+    ]
+    by_variant = {row[0]: row[1] for row in rows}
+    assert by_variant["cap on (r/3)"] > by_variant["cap off"] * 1.5

@@ -1,0 +1,32 @@
+"""Regenerates Figure 2: tiered-storage DFSIO throughput sweep."""
+
+from repro.bench.experiments import fig2_tiered_io
+
+
+def test_fig2_tiered_storage_effect(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        fig2_tiered_io.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    record_result("fig2_tiered_io", result.format())
+
+    columns = list(fig2_tiered_io.VECTORS)
+    low_d = dict(zip(columns, result.write_rows[0][1:]))
+    high_d = dict(zip(columns, result.write_rows[-1][1:]))
+
+    # Shape 1: at low parallelism, memory > SSD > HDD for writes.
+    assert low_d["<3,0,0>"] > low_d["<0,3,0>"] > low_d["<0,0,3>"]
+    # Shape 2: the SSD advantage over HDD erodes at d=27 (1 SSD vs
+    # 3 HDDs per node); allow a small tolerance around the crossover.
+    assert high_d["<0,3,0>"] < high_d["<0,0,3>"] * 1.15
+    # Shape 3: multi-tier vectors are HDD-bottlenecked at low d...
+    assert low_d["<1,1,1>"] < low_d["<0,0,3>"] * 1.1
+    # ...but clearly beat all-HDD at high d (paper: up to ~2x).
+    assert high_d["<1,1,1>"] > high_d["<0,0,3>"] * 1.5
+
+    # Shape 4: one in-memory replica lifts reads well above all-HDD.
+    read_high = dict(zip(columns, result.read_rows[-1][1:]))
+    assert read_high["<1,0,2>"] > read_high["<0,0,3>"] * 1.5
+
+    # Shape 5: roughly a third of reads are node-local.
+    avg_locality = sum(result.localities) / len(result.localities)
+    assert 0.15 <= avg_locality <= 0.55

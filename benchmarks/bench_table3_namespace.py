@@ -1,0 +1,24 @@
+"""Regenerates Table 3: namespace operations per second (S-Live)."""
+
+from repro.bench.experiments import table3_namespace
+from repro.workloads.slive import OPERATIONS
+
+
+def test_table3_namespace_operations(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        table3_namespace.run,
+        kwargs={"scale": bench_scale, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("table3_namespace", result.format())
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == set(OPERATIONS)
+    for op, row in rows.items():
+        _op, hdfs, octo, _overhead, *_paper = row
+        assert hdfs > 0 and octo > 0
+        # Shape: the tier machinery keeps namespace ops in the same
+        # ballpark as plain HDFS (paper <1%; we tolerate Python-level
+        # differences but fail on anything resembling a slowdown bug).
+        assert octo > hdfs / 2.0, f"{op}: OctopusFS >2x slower than baseline"

@@ -1,0 +1,62 @@
+"""OctopusFS reproduction: a distributed file system with tiered storage.
+
+A faithful Python reimplementation of *OctopusFS* (Kakoulli &
+Herodotou, SIGMOD 2017): an HDFS-like distributed file system that
+manages memory, SSD, HDD, and remote storage as explicit tiers, with
+replication vectors for per-tier replica control, multi-objective
+optimizing (MOOP) block placement, tier-aware data retrieval, and
+automated replication management — all running over a deterministic
+discrete-event cluster simulator.
+
+Quick start::
+
+    from repro import OctopusFileSystem, ReplicationVector
+    from repro.cluster import small_cluster_spec
+
+    fs = OctopusFileSystem(small_cluster_spec())
+    client = fs.client(on="worker1")
+    client.write_file("/demo", data=b"tiered!",
+                      rep_vector=ReplicationVector.of(memory=1, hdd=2))
+    print(client.get_file_block_locations("/demo"))
+"""
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    paper_cluster_spec,
+    small_cluster_spec,
+)
+from repro.core import (
+    HdfsLocalityRetrievalPolicy,
+    MoopPlacementPolicy,
+    OctopusRetrievalPolicy,
+    OriginalHdfsPolicy,
+    ReplicationVector,
+    RuleBasedPolicy,
+    make_policy,
+)
+from repro.fs import Client, Master, OctopusFileSystem, UserContext, Worker
+from repro.sim import SimulationEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "paper_cluster_spec",
+    "small_cluster_spec",
+    "ReplicationVector",
+    "MoopPlacementPolicy",
+    "OriginalHdfsPolicy",
+    "RuleBasedPolicy",
+    "OctopusRetrievalPolicy",
+    "HdfsLocalityRetrievalPolicy",
+    "make_policy",
+    "Client",
+    "Master",
+    "Worker",
+    "UserContext",
+    "OctopusFileSystem",
+    "SimulationEngine",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Experiment harness: deployment presets, runners, table formatting.
+
+Each paper table/figure has a module under :mod:`repro.bench.experiments`
+that regenerates it; ``benchmarks/`` wires those into pytest-benchmark.
+"""
+
+from repro.bench.deployments import build_deployment, DEPLOYMENTS
+
+__all__ = ["build_deployment", "DEPLOYMENTS"]

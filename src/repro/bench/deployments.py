@@ -1,0 +1,81 @@
+"""Deployment presets: the storage configurations the paper compares.
+
+A *deployment* is the paper cluster plus a placement/retrieval policy
+pairing:
+
+* ``octopus``    — MOOP placement (memory enabled) + tier-aware retrieval;
+                   the full OctopusFS configuration.
+* ``hdfs``       — stock HDFS: HDD-only placement, locality-only retrieval
+                   ("Original HDFS" in §7.2).
+* ``hdfs+ssd``   — HDFS placing blindly across HDDs *and* SSDs
+                   ("HDFS with SSD" in §7.2).
+* ``rule``       — the rule-based tiering policy + tier-aware retrieval.
+* ``db``/``lb``/``ft``/``tm`` — the four single-objective MOOP variants.
+* ``octopus-hdfs-read`` — MOOP placement but HDFS retrieval; isolates
+                   the retrieval policy's contribution (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import ClusterSpec, paper_cluster_spec
+from repro.core.placement import make_policy
+from repro.core.retrieval import (
+    HdfsLocalityRetrievalPolicy,
+    OctopusRetrievalPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.fs.system import OctopusFileSystem
+from repro.util.rng import DeterministicRng
+
+#: Names accepted by :func:`build_deployment`.
+DEPLOYMENTS = (
+    "octopus",
+    "octopus-nomem",
+    "hdfs",
+    "hdfs+ssd",
+    "rule",
+    "db",
+    "lb",
+    "ft",
+    "tm",
+    "moop",
+    "octopus-hdfs-read",
+)
+
+_HDFS_LIKE = {"hdfs", "hdfs+ssd"}
+
+
+def build_deployment(
+    name: str,
+    spec: ClusterSpec | None = None,
+    seed: int = 0,
+) -> OctopusFileSystem:
+    """Build a file system configured as one of the evaluated systems."""
+    if name not in DEPLOYMENTS:
+        raise ConfigurationError(
+            f"unknown deployment {name!r}; choose from {DEPLOYMENTS}"
+        )
+    spec = spec or paper_cluster_spec(seed=seed)
+    rng = DeterministicRng(seed, f"deployment/{name}")
+    if name in _HDFS_LIKE:
+        placement = make_policy(name, rng.fork("placement"))
+        retrieval = HdfsLocalityRetrievalPolicy(rng.fork("retrieval"))
+    elif name == "octopus-hdfs-read":
+        placement = make_policy("moop", rng.fork("placement"), memory_enabled=True)
+        retrieval = HdfsLocalityRetrievalPolicy(rng.fork("retrieval"))
+    elif name == "octopus-nomem":
+        # The §3.3 *default* MOOP configuration: volatile tiers are not
+        # used for automated (U) placement; applications opt into memory
+        # explicitly through replication vectors. This is the §7.6
+        # baseline the two Pegasus optimizations improve upon.
+        placement = make_policy("moop", rng.fork("placement"), memory_enabled=False)
+        retrieval = OctopusRetrievalPolicy(rng.fork("retrieval"))
+    else:
+        policy_name = "moop" if name == "octopus" else name
+        placement = make_policy(
+            policy_name, rng.fork("placement"), memory_enabled=True
+        )
+        retrieval = OctopusRetrievalPolicy(rng.fork("retrieval"))
+    return OctopusFileSystem(
+        spec, placement_policy=placement, retrieval_policy=retrieval
+    )

@@ -1,0 +1,31 @@
+"""One module per paper table/figure; each exposes ``run(scale=...)``.
+
+``scale`` shrinks the data volumes (never the cluster) so the same
+experiment can run as a quick smoke (scale≈0.05) or at the paper's full
+size (scale=1.0). Every module returns a result object whose
+``format()`` prints the rows/series the paper reports, plus the paper's
+expected shape for eyeballing.
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    ablation,
+    fig2_tiered_io,
+    fig3_placement,
+    fig5_retrieval,
+    fig6_hibench,
+    fig7_pegasus,
+    table2_media,
+    table3_namespace,
+)
+
+ALL_EXPERIMENTS = {
+    "table2": table2_media,
+    "fig2": fig2_tiered_io,
+    "fig3": fig3_placement,
+    "fig4": fig3_placement,  # Fig. 4 is the capacity view of the Fig. 3 run
+    "fig5": fig5_retrieval,
+    "table3": table3_namespace,
+    "fig6": fig6_hibench,
+    "fig7": fig7_pegasus,
+    "ablation": ablation,
+}

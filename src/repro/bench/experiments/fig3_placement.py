@@ -1,0 +1,98 @@
+"""Figures 3 and 4: the eight data placement policies under DFSIO.
+
+DFSIO writes 40 GB at d=27 with ``U = 3`` under each policy, then reads
+it back. Figure 3 reports write/read throughput (the paper plots it
+over time; we report the average plus the sampled time series), and
+Figure 4 the remaining-capacity percentage per tier at the end of the
+write — the signature of each policy's placement behaviour.
+
+Paper shape to hold: MOOP best-and-stable; TM fast until memory
+exhausts, then collapses onto the SSDs; LB/FT middling; DB ignores
+performance; Rule-based beats both HDFS variants but trails MOOP;
+adding SSDs to stock HDFS helps only modestly; MOOP reads ~2× HDFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.deployments import build_deployment
+from repro.bench.tables import format_series, format_table
+from repro.cluster.spec import paper_cluster_spec
+from repro.util.units import GB
+from repro.workloads.dfsio import Dfsio
+
+#: Paper's Fig. 3 policy set, in its presentation order.
+POLICIES = ("tm", "lb", "ft", "db", "moop", "rule", "hdfs", "hdfs+ssd")
+
+PARALLELISM = 27
+
+
+@dataclass
+class PolicyOutcome:
+    policy: str
+    write_mbs: float
+    read_mbs: float
+    remaining_percent: dict[str, float]
+    write_series: list[tuple[float, float]]
+
+
+@dataclass
+class Fig3Result:
+    outcomes: list[PolicyOutcome] = field(default_factory=list)
+
+    def format(self) -> str:
+        tiers = sorted(
+            {t for o in self.outcomes for t in o.remaining_percent}
+        )
+        rows = [
+            [
+                o.policy,
+                o.write_mbs,
+                o.read_mbs,
+                *(o.remaining_percent.get(t, 100.0) for t in tiers),
+            ]
+            for o in self.outcomes
+        ]
+        table = format_table(
+            ["policy", "write MB/s", "read MB/s", *(f"rem% {t}" for t in tiers)],
+            rows,
+            title=(
+                "Fig 3: write/read throughput per worker | "
+                "Fig 4: remaining capacity per tier"
+            ),
+        )
+        series = "\n".join(
+            format_series(f"write-over-time {o.policy}", o.write_series[:12])
+            for o in self.outcomes
+        )
+        return table + "\n\nFig 3(a) time series (sampled):\n" + series
+
+
+def run(scale: float = 1.0, seed: int = 0) -> Fig3Result:
+    """Run all eight policies; ``scale`` shrinks the 40 GB dataset."""
+    total_bytes = int(40 * GB * scale)
+    result = Fig3Result()
+    for policy in POLICIES:
+        fs = build_deployment(
+            policy, spec=paper_cluster_spec(racks=1, seed=seed), seed=seed
+        )
+        bench = Dfsio(fs, sample_interval=max(2.0, 20.0 * scale))
+        write = bench.write(total_bytes, parallelism=PARALLELISM, rep_vector=3)
+        read = bench.read(parallelism=PARALLELISM)
+        remaining = {
+            report.tier_name: report.remaining_percent
+            for report in fs.master.get_storage_tier_reports()
+        }
+        result.outcomes.append(
+            PolicyOutcome(
+                policy=policy,
+                write_mbs=write.throughput_per_worker_mbs,
+                read_mbs=read.throughput_per_worker_mbs,
+                remaining_percent=remaining,
+                write_series=write.throughput_series(
+                    max(2.0, 20.0 * scale)
+                ),
+            )
+        )
+    return result

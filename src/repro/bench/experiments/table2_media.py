@@ -1,0 +1,63 @@
+"""Table 2: average write/read throughput per storage media type.
+
+The paper's workers run a short I/O-intensive test at launch and report
+sustained write/read throughput per medium; Table 2 lists the cluster
+averages. Our workers perform the same probe against the simulated
+media (whose nominal rates come from the paper's own measurements, with
+small run-to-run jitter), so this experiment checks the probe-and-
+average pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.deployments import build_deployment
+from repro.bench.tables import format_table
+from repro.cluster.spec import paper_cluster_spec
+from repro.util.units import MB
+
+#: The paper's Table 2 (MB/s), for side-by-side comparison.
+PAPER_TABLE2 = {
+    "MEMORY": (1897.4, 3224.8),
+    "SSD": (340.6, 419.5),
+    "HDD": (126.3, 177.1),
+}
+
+
+@dataclass
+class Table2Result:
+    rows: list[tuple[str, float, float, float, float]]
+
+    def format(self) -> str:
+        return format_table(
+            ["media", "write MB/s", "read MB/s", "paper write", "paper read"],
+            self.rows,
+            title="Table 2: average throughput per storage media",
+        )
+
+
+def run(scale: float = 1.0, seed: int = 0) -> Table2Result:
+    """Probe every worker's media and average per type."""
+    fs = build_deployment(
+        "octopus", spec=paper_cluster_spec(racks=1, seed=seed), seed=seed
+    )
+    sums: dict[str, list[float]] = {}
+    for worker in fs.workers.values():
+        for probe in worker.probes:
+            write, read, count = sums.setdefault(probe.tier_name, [0.0, 0.0, 0])
+            sums[probe.tier_name] = [
+                write + probe.write_throughput,
+                read + probe.read_throughput,
+                count + 1,
+            ]
+    rows = []
+    for tier in fs.cluster.tier_order:
+        if tier not in sums:
+            continue
+        write, read, count = sums[tier]
+        paper = PAPER_TABLE2.get(tier, (float("nan"), float("nan")))
+        rows.append(
+            (tier, write / count / MB, read / count / MB, paper[0], paper[1])
+        )
+    return Table2Result(rows=rows)

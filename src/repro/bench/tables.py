@@ -1,0 +1,49 @@
+"""Plain-text table and series rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_series(
+    label: str, points: Sequence[tuple[float, float]], unit: str = "MB/s"
+) -> str:
+    """Render a (time, value) series on one line."""
+    rendered = " ".join(f"{t:.0f}s:{v:.0f}" for t, v in points)
+    return f"{label:24} [{unit}] {rendered}"

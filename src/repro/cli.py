@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment`` — regenerate one of the paper's tables/figures::
+
+    python -m repro experiment fig3 --scale 0.5
+
+``dfsio`` — run the DFSIO benchmark against a chosen deployment::
+
+    python -m repro dfsio --size 10GB --parallelism 27 --vector 1,0,2
+
+``slive`` — compare namespace operation rates vs the HDFS baseline::
+
+    python -m repro slive --ops 4000
+
+``report`` — build a deployment and print its topology and tier report::
+
+    python -m repro report --deployment octopus
+
+``list`` — show the available experiments and deployment presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.deployments import DEPLOYMENTS, build_deployment
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.tables import format_table
+from repro.cluster.spec import paper_cluster_spec
+from repro.core.replication_vector import ReplicationVector
+from repro.util.units import format_bytes, format_rate, parse_bytes
+from repro.workloads.dfsio import Dfsio
+from repro.workloads.slive import (
+    HdfsNamespaceAdapter,
+    OctopusNamespaceAdapter,
+    SLive,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OctopusFS reproduction (SIGMOD 2017) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=0.2)
+    exp.add_argument("--seed", type=int, default=0)
+
+    dfsio = sub.add_parser("dfsio", help="run the DFSIO I/O benchmark")
+    dfsio.add_argument("--size", default="10GB")
+    dfsio.add_argument("--parallelism", "-d", type=int, default=27)
+    dfsio.add_argument("--deployment", choices=DEPLOYMENTS, default="octopus")
+    dfsio.add_argument(
+        "--vector",
+        default=None,
+        help="replication vector as M,S,H[,R[,U]] (default: U=3)",
+    )
+    dfsio.add_argument("--seed", type=int, default=0)
+    dfsio.add_argument("--racks", type=int, default=1)
+
+    slive = sub.add_parser("slive", help="namespace stress test vs HDFS")
+    slive.add_argument("--ops", type=int, default=2000)
+    slive.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="show a deployment's tier report")
+    report.add_argument("--deployment", choices=DEPLOYMENTS, default="octopus")
+    report.add_argument("--racks", type=int, default=2)
+    report.add_argument("--workers", type=int, default=9)
+
+    sub.add_parser("list", help="list experiments and deployments")
+    return parser
+
+
+def _parse_vector(text: str | None) -> ReplicationVector | int:
+    if text is None:
+        return 3
+    counts = [int(part) for part in text.split(",")]
+    while len(counts) < 5:
+        counts.append(0)
+    return ReplicationVector.from_counts(counts)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    module = ALL_EXPERIMENTS[args.name]
+    result = module.run(scale=args.scale, seed=args.seed)
+    print(result.format())
+    return 0
+
+
+def cmd_dfsio(args: argparse.Namespace) -> int:
+    spec = paper_cluster_spec(racks=args.racks, seed=args.seed)
+    fs = build_deployment(args.deployment, spec=spec, seed=args.seed)
+    bench = Dfsio(fs)
+    vector = _parse_vector(args.vector)
+    write = bench.write(
+        parse_bytes(args.size), parallelism=args.parallelism, rep_vector=vector
+    )
+    read = bench.read(parallelism=args.parallelism)
+    rows = [
+        ["write", write.throughput_per_worker_mbs, write.avg_task_rate_mbs,
+         write.elapsed],
+        ["read", read.throughput_per_worker_mbs, read.avg_task_rate_mbs,
+         read.elapsed],
+    ]
+    print(
+        format_table(
+            ["phase", "MB/s per worker", "MB/s per task", "elapsed (sim s)"],
+            rows,
+            title=(
+                f"DFSIO {args.size} d={args.parallelism} "
+                f"deployment={args.deployment}"
+            ),
+        )
+    )
+    if read.locality_fraction is not None:
+        print(f"node-local read fraction: {read.locality_fraction:.2f}")
+    return 0
+
+
+def cmd_slive(args: argparse.Namespace) -> int:
+    slive = SLive(ops_per_type=args.ops, seed=args.seed)
+    octo = slive.run(OctopusNamespaceAdapter())
+    hdfs = slive.run(HdfsNamespaceAdapter())
+    rows = [
+        [
+            op,
+            hdfs.ops_per_second[op],
+            octo.ops_per_second[op],
+            100.0 * (hdfs.ops_per_second[op] - octo.ops_per_second[op])
+            / hdfs.ops_per_second[op],
+        ]
+        for op in octo.ops_per_second
+    ]
+    print(
+        format_table(
+            ["operation", "HDFS ops/s", "OctopusFS ops/s", "overhead %"],
+            rows,
+            title=f"S-Live ({args.ops} ops per type)",
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    spec = paper_cluster_spec(racks=args.racks, workers=args.workers)
+    fs = build_deployment(args.deployment, spec=spec)
+    print(f"deployment: {args.deployment}")
+    print(f"placement:  {fs.master.placement_policy!r}")
+    print(f"retrieval:  {fs.master.retrieval_policy!r}")
+    print(f"nodes:      {len(fs.cluster.nodes)} "
+          f"({len(fs.workers)} workers on {len(fs.cluster.topology.racks)} racks)")
+    rows = [
+        [
+            r.tier_name,
+            r.media_count,
+            format_bytes(r.total_capacity),
+            f"{r.remaining_percent:.1f}%",
+            format_rate(r.avg_write_throughput),
+            format_rate(r.avg_read_throughput),
+        ]
+        for r in fs.master.get_storage_tier_reports()
+    ]
+    print(
+        format_table(
+            ["tier", "media", "capacity", "remaining", "write", "read"],
+            rows,
+            title="storage tier report",
+        )
+    )
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("deployments:", ", ".join(DEPLOYMENTS))
+    return 0
+
+
+_COMMANDS = {
+    "experiment": cmd_experiment,
+    "dfsio": cmd_dfsio,
+    "slive": cmd_slive,
+    "report": cmd_report,
+    "list": cmd_list,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Cluster model: racks, nodes, NICs, storage media, and virtual tiers.
+
+This package models the physical substrate the paper's evaluation runs
+on. A :class:`~repro.cluster.cluster.Cluster` is built from a
+:class:`~repro.cluster.spec.ClusterSpec` and owns the simulation engine,
+the fluid-flow scheduler, the network topology, and every storage
+medium. The paper's 10-node testbed (§7) is available as
+:func:`~repro.cluster.spec.paper_cluster_spec`.
+"""
+
+from repro.cluster.media import StorageMedium, StorageTier, TierStatistics
+from repro.cluster.spec import (
+    ClusterSpec,
+    MediumSpec,
+    NodeSpec,
+    TierSpec,
+    paper_cluster_spec,
+    small_cluster_spec,
+)
+from repro.cluster.topology import NetworkTopology, Node, Rack
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "StorageMedium",
+    "StorageTier",
+    "TierStatistics",
+    "ClusterSpec",
+    "MediumSpec",
+    "NodeSpec",
+    "TierSpec",
+    "paper_cluster_spec",
+    "small_cluster_spec",
+    "NetworkTopology",
+    "Node",
+    "Rack",
+    "Cluster",
+]

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: tiered-storage data management.
+
+* :mod:`repro.core.replication_vector` — per-tier replica counts (§2.3).
+* :mod:`repro.core.objectives` — the four objective functions and the
+  ideal vector of the MOOP formulation (§3.2, Eqs. 1–10).
+* :mod:`repro.core.moop` — ``SolveMoop`` (Alg. 1), ``GenOptions``
+  pruning heuristics, and the greedy placement loop (Alg. 2).
+* :mod:`repro.core.placement` — pluggable block placement policies,
+  including every baseline evaluated in §7.2.
+* :mod:`repro.core.retrieval` — pluggable replica-ordering policies
+  (§4.2), including the HDFS locality-only baseline.
+* :mod:`repro.core.replication` — under-/over-replication management (§5).
+"""
+
+from repro.core.replication_vector import ReplicationVector, UNSPECIFIED
+from repro.core.objectives import (
+    ObjectiveContext,
+    data_balancing,
+    fault_tolerance,
+    ideal_vector,
+    load_balancing,
+    objective_vector,
+    throughput_maximization,
+)
+from repro.core.moop import PlacementRequest, gen_options, place_replicas, solve_moop
+from repro.core.placement import (
+    BlockPlacementPolicy,
+    DataBalancingPolicy,
+    FaultTolerancePolicy,
+    LoadBalancingPolicy,
+    MoopPlacementPolicy,
+    OriginalHdfsPolicy,
+    RuleBasedPolicy,
+    SingleObjectivePolicy,
+    ThroughputMaximizationPolicy,
+    make_policy,
+)
+from repro.core.retrieval import (
+    DataRetrievalPolicy,
+    HdfsLocalityRetrievalPolicy,
+    OctopusRetrievalPolicy,
+)
+
+__all__ = [
+    "ReplicationVector",
+    "UNSPECIFIED",
+    "ObjectiveContext",
+    "data_balancing",
+    "load_balancing",
+    "fault_tolerance",
+    "throughput_maximization",
+    "objective_vector",
+    "ideal_vector",
+    "PlacementRequest",
+    "solve_moop",
+    "gen_options",
+    "place_replicas",
+    "BlockPlacementPolicy",
+    "MoopPlacementPolicy",
+    "SingleObjectivePolicy",
+    "DataBalancingPolicy",
+    "LoadBalancingPolicy",
+    "FaultTolerancePolicy",
+    "ThroughputMaximizationPolicy",
+    "RuleBasedPolicy",
+    "OriginalHdfsPolicy",
+    "make_policy",
+    "DataRetrievalPolicy",
+    "OctopusRetrievalPolicy",
+    "HdfsLocalityRetrievalPolicy",
+]

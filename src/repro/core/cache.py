@@ -1,0 +1,241 @@
+"""Multi-level cache management over replication vectors (paper §6).
+
+The paper's first enabling use case: "OctopusFS ... could be
+transformed into a multi-level caching system ... cache management
+policies can be implemented both inside and outside the system." This
+module is the *inside* variant: a :class:`CacheManager` watches file
+accesses and automatically promotes hot files into the memory tier
+(adding a memory replica via ``setReplication``) and demotes cold ones
+when the memory budget is exhausted — all through the same public
+vector APIs an application would use.
+
+Eviction is pluggable: :class:`LruPolicy` (least recently used) and
+:class:`LfuPolicy` (least frequently used) ship by default; any object
+with the :class:`EvictionPolicy` surface plugs in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.replication_vector import ReplicationVector
+from repro.errors import ConfigurationError, FileSystemError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.system import OctopusFileSystem
+
+
+class EvictionPolicy(ABC):
+    """Chooses which cached entry to demote under memory pressure."""
+
+    @abstractmethod
+    def record_access(self, path: str, now: float) -> None:
+        """Note one access to ``path`` at simulated time ``now``."""
+
+    @abstractmethod
+    def victim(self) -> str | None:
+        """The tracked path to demote next (None if nothing tracked)."""
+
+    @abstractmethod
+    def forget(self, path: str) -> None:
+        """Stop tracking ``path`` (deleted or demoted)."""
+
+    def should_displace(
+        self, victim: str, candidate: str, access_counts: dict[str, int]
+    ) -> bool:
+        """Admission control: may ``candidate`` evict ``victim``?
+
+        Default: always (recency-style policies). Frequency-based
+        policies override this so a one-hit wonder cannot flush a
+        frequently used resident.
+        """
+        return True
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently used entry."""
+
+    def __init__(self) -> None:
+        self._last_access: dict[str, float] = {}
+        self._sequence = 0
+
+    def record_access(self, path: str, now: float) -> None:
+        # A tie-breaking sequence keeps order exact when many accesses
+        # share one simulated instant.
+        self._sequence += 1
+        self._last_access[path] = now + self._sequence * 1e-12
+
+    def victim(self) -> str | None:
+        if not self._last_access:
+            return None
+        return min(self._last_access, key=self._last_access.get)
+
+    def forget(self, path: str) -> None:
+        self._last_access.pop(path, None)
+
+
+class LfuPolicy(EvictionPolicy):
+    """Evict the least frequently used entry (ties: least recent)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._last_access: dict[str, float] = {}
+
+    def record_access(self, path: str, now: float) -> None:
+        self._counts[path] = self._counts.get(path, 0) + 1
+        self._last_access[path] = now
+
+    def victim(self) -> str | None:
+        if not self._counts:
+            return None
+        return min(
+            self._counts,
+            key=lambda p: (self._counts[p], self._last_access[p]),
+        )
+
+    def forget(self, path: str) -> None:
+        self._counts.pop(path, None)
+        self._last_access.pop(path, None)
+
+    def should_displace(
+        self, victim: str, candidate: str, access_counts: dict[str, int]
+    ) -> bool:
+        return access_counts.get(candidate, 0) >= self._counts.get(victim, 0)
+
+
+@dataclass
+class CacheStats:
+    promotions: int = 0
+    demotions: int = 0
+    accesses: int = 0
+    rejected_too_large: int = 0
+    #: Bytes currently pinned in memory by the manager.
+    cached_bytes: int = 0
+    cached_paths: set[str] = field(default_factory=set)
+
+
+class CacheManager:
+    """Automatic promotion/demotion of files across the memory tier.
+
+    ``memory_budget`` bounds how many bytes of *file data* the manager
+    will pin in memory (one replica per file); ``promote_after`` is the
+    access count that marks a file hot. Attach to a file system with
+    :meth:`attach`, after which every ``Client.open`` feeds the policy.
+    """
+
+    def __init__(
+        self,
+        system: "OctopusFileSystem",
+        memory_budget: int,
+        policy: EvictionPolicy | None = None,
+        promote_after: int = 2,
+        memory_tier: str = "MEMORY",
+    ) -> None:
+        if memory_budget <= 0:
+            raise ConfigurationError("cache memory budget must be positive")
+        if memory_tier not in system.cluster.tiers:
+            raise ConfigurationError(f"no tier named {memory_tier!r}")
+        self.system = system
+        self.memory_budget = memory_budget
+        self.policy = policy or LruPolicy()
+        self.promote_after = promote_after
+        self.memory_tier = memory_tier
+        self.stats = CacheStats()
+        self._access_counts: dict[str, int] = {}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> "CacheManager":
+        """Subscribe to the file system's access notifications."""
+        if self._attached:
+            raise ConfigurationError("cache manager already attached")
+        self.system.access_listeners.append(self.on_access)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.system.access_listeners.remove(self.on_access)
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    # The policy loop
+    # ------------------------------------------------------------------
+    def on_access(self, path: str) -> None:
+        """Called by the file system on every file open."""
+        self.stats.accesses += 1
+        now = self.system.engine.now
+        self._access_counts[path] = self._access_counts.get(path, 0) + 1
+        if path in self.stats.cached_paths:
+            self.policy.record_access(path, now)
+            return
+        if self._access_counts[path] >= self.promote_after:
+            self._promote(path, now)
+
+    def _file_length(self, path: str) -> int:
+        return self.system.master_for(path).get_status(path).length
+
+    def _promote(self, path: str, now: float) -> None:
+        try:
+            length = self._file_length(path)
+        except FileSystemError:
+            return  # deleted between access and promotion
+        if length > self.memory_budget:
+            self.stats.rejected_too_large += 1
+            return
+        while self.stats.cached_bytes + length > self.memory_budget:
+            victim = self.policy.victim()
+            if victim is None:
+                return  # nothing left to evict; give up on this file
+            if not self.policy.should_displace(victim, path, self._access_counts):
+                return  # resident entries are hotter; do not admit
+            self.demote(victim)
+        client = self.system.client()
+        master = self.system.master_for(path)
+        vector = master.get_status(path).rep_vector
+        if vector.count(self.memory_tier) >= 1:
+            # Already memory-resident by application choice; just track.
+            pass
+        else:
+            client.set_replication(path, vector.add(self.memory_tier))
+        self.stats.cached_paths.add(path)
+        self.stats.cached_bytes += length
+        self.stats.promotions += 1
+        self.policy.record_access(path, now)
+
+    def demote(self, path: str) -> None:
+        """Drop the cached memory replica of ``path``."""
+        if path not in self.stats.cached_paths:
+            return
+        self.stats.cached_paths.discard(path)
+        self.policy.forget(path)
+        self._access_counts.pop(path, None)
+        try:
+            length = self._file_length(path)
+            master = self.system.master_for(path)
+            vector = master.get_status(path).rep_vector
+            if vector.count(self.memory_tier) > 0:
+                demoted = vector.add(self.memory_tier, -1)
+                # Keep at least one replica somewhere.
+                if demoted.total_replicas == 0:
+                    demoted = demoted.add("UNSPECIFIED")
+                self.system.client().set_replication(path, demoted)
+        except FileSystemError:
+            length = 0  # the file vanished; only bookkeeping remains
+        self.stats.cached_bytes = max(0, self.stats.cached_bytes - length)
+        self.stats.demotions += 1
+
+    def flush(self) -> None:
+        """Demote everything (e.g. before shutting the manager down)."""
+        for path in sorted(self.stats.cached_paths):
+            self.demote(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CacheManager cached={len(self.stats.cached_paths)} "
+            f"bytes={self.stats.cached_bytes}/{self.memory_budget}>"
+        )

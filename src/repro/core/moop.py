@@ -1,0 +1,327 @@
+"""MOOP solver and greedy placement (paper §3.3, Algorithms 1 and 2).
+
+``solve_moop`` is Algorithm 1: given the media options for one replica
+and the media already chosen, it returns the option whose addition
+minimizes the global-criterion score ``‖f − z*‖``.
+
+``place_replicas`` is Algorithm 2: it expands a replication vector into
+per-replica entries (explicit tiers first, then the U entries), and for
+each entry generates a pruned option list (``gen_options``) and solves
+the MOOP. Greedy construction exploits the optimal-substructure property
+each individual objective exhibits, giving ``O(s·r²)`` instead of the
+exponential ``O(r·sʳ)`` enumeration.
+
+``gen_options`` implements the §3.3 pruning heuristics:
+
+* hard constraints — media already holding the block, media without room
+  for the block, media on dead nodes, and the entry's tier requirement;
+* rack pruning — after the first pick, exclude its rack; after the
+  second, restrict to the two racks already used (replicas on exactly
+  two racks maximize Eq. 5's rack term);
+* client colocation — a client running on a worker gets its first
+  replica locally when possible;
+* the memory rule — for U entries, memory is skipped unless enabled,
+  and never holds more than ⌊r/3⌋ of a block's replicas.
+
+Heuristics are *soft*: if a pruning step would empty the option list it
+is skipped, so pruning can never cause a spurious placement failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.objectives import (
+    ALL_OBJECTIVES,
+    ObjectiveContext,
+    global_criterion_score,
+)
+from repro.core.replication_vector import ReplicationVector
+from repro.errors import InsufficientStorageError, PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.media import StorageMedium
+    from repro.cluster.topology import Node
+
+
+@dataclass
+class PlacementRequest:
+    """One block-placement decision.
+
+    ``existing_replicas`` carries already-placed replicas when the
+    request repairs under-replication (§5) or extends a vector; they
+    count toward rack pruning and the memory cap but are not re-placed.
+    """
+
+    rep_vector: ReplicationVector
+    block_size: int
+    client_node: "Node | None" = None
+    existing_replicas: tuple["StorageMedium", ...] = ()
+    excluded_media: frozenset[str] = frozenset()
+    memory_enabled: bool = False
+    #: Heuristic toggles (§3.3); exposed for the ablation benchmarks.
+    rack_pruning: bool = True
+    client_colocation: bool = True
+    memory_cap: bool = True
+
+    @property
+    def total_replicas(self) -> int:
+        """Replicas that will exist after this placement completes."""
+        return self.rep_vector.total_replicas + len(self.existing_replicas)
+
+
+@dataclass(frozen=True)
+class ReplicaEntry:
+    """One replica to place: a tier requirement or an unspecified slot."""
+
+    required_tier: str | None  # None == the paper's "U" entry
+
+
+def expand_vector(vector: ReplicationVector, tier_rank: dict[str, int]) -> list[ReplicaEntry]:
+    """Expand a replication vector into per-replica entries.
+
+    Explicit tiers come first (fastest tier first, so the write pipeline
+    head lands on the fastest requested medium, matching the paper's
+    pipeline example ⟨W1,M⟩→⟨W3,H⟩→⟨W6,H⟩), then the U entries.
+    """
+    entries: list[ReplicaEntry] = []
+    explicit = sorted(
+        vector.tier_counts.items(),
+        key=lambda item: tier_rank.get(item[0], len(tier_rank)),
+    )
+    for tier, count in explicit:
+        entries.extend(ReplicaEntry(tier) for _ in range(count))
+    entries.extend(ReplicaEntry(None) for _ in range(vector.unspecified))
+    return entries
+
+
+def solve_moop(
+    media_options: Sequence["StorageMedium"],
+    chosen_media: list["StorageMedium"],
+    ctx: ObjectiveContext,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+) -> "StorageMedium":
+    """Algorithm 1: pick the option minimizing ``‖f − z*‖``.
+
+    ``chosen_media`` is mutated and restored around each evaluation, as
+    in the paper's pseudocode; ties keep the first (deterministic) option.
+    """
+    if not media_options:
+        raise InsufficientStorageError("solve_moop called with no options")
+    best_score = math.inf
+    best_media: "StorageMedium | None" = None
+    for option in media_options:
+        chosen_media.append(option)
+        score = global_criterion_score(chosen_media, ctx, objectives)
+        chosen_media.pop()
+        if score < best_score:
+            best_score = score
+            best_media = option
+    assert best_media is not None
+    return best_media
+
+
+def gen_options(
+    cluster: "Cluster",
+    request: PlacementRequest,
+    chosen: Sequence["StorageMedium"],
+    entry: ReplicaEntry,
+) -> list["StorageMedium"]:
+    """Generate the pruned option list for the next replica (§3.3)."""
+    placed = list(request.existing_replicas) + list(chosen)
+    placed_ids = {m.medium_id for m in placed} | set(request.excluded_media)
+
+    # Hard constraints: uniqueness, capacity, liveness (placeable
+    # excludes decommissioning nodes), tier requirement.
+    options = [
+        medium
+        for medium in cluster.placeable_media()
+        if medium.medium_id not in placed_ids
+        and medium.remaining >= request.block_size
+    ]
+    if entry.required_tier is not None:
+        options = [m for m in options if m.tier_name == entry.required_tier]
+        if not options:
+            raise InsufficientStorageError(
+                f"no medium in tier {entry.required_tier!r} can hold "
+                f"{request.block_size} bytes"
+            )
+    else:
+        options = _apply_memory_rule(options, placed, request, cluster)
+    if not options:
+        raise InsufficientStorageError(
+            f"no storage medium can hold a {request.block_size}-byte replica"
+        )
+
+    # Soft heuristics, each skipped rather than allowed to empty the list.
+    if request.rack_pruning:
+        options = _apply_rack_pruning(options, placed)
+    if request.client_colocation:
+        options = _apply_client_colocation(options, placed, request)
+    return options
+
+
+def _apply_memory_rule(
+    options: list["StorageMedium"],
+    placed: Sequence["StorageMedium"],
+    request: PlacementRequest,
+    cluster: "Cluster",
+) -> list["StorageMedium"]:
+    """Volatile (memory) tiers are opt-in for U entries and capped at
+    ⌊r/3⌋ of a block's replicas (§3.3, final paragraph)."""
+    volatile_tiers = {t.name for t in cluster.tiers.values() if t.volatile}
+    if not volatile_tiers:
+        return options
+    if not request.memory_enabled:
+        return [m for m in options if m.tier_name not in volatile_tiers]
+    if not request.memory_cap:
+        return options
+    max_volatile = request.total_replicas // 3
+    volatile_used = sum(1 for m in placed if m.tier_name in volatile_tiers)
+    if volatile_used >= max_volatile:
+        return [m for m in options if m.tier_name not in volatile_tiers]
+    return options
+
+
+def _apply_rack_pruning(
+    options: list["StorageMedium"],
+    placed: Sequence["StorageMedium"],
+) -> list["StorageMedium"]:
+    """Steer toward exactly two racks, as Eq. 5's rack term rewards."""
+    racks = []
+    for medium in placed:
+        rack = medium.node.rack
+        if rack not in racks:
+            racks.append(rack)
+    if not racks:
+        return options
+    if len(racks) == 1:
+        pruned = [m for m in options if m.node.rack is not racks[0]]
+    else:
+        allowed = set(racks[:2])
+        pruned = [m for m in options if m.node.rack in allowed]
+    return pruned or options
+
+
+def _apply_client_colocation(
+    options: list["StorageMedium"],
+    placed: Sequence["StorageMedium"],
+    request: PlacementRequest,
+) -> list["StorageMedium"]:
+    """First replica goes to the client's own worker when possible."""
+    if placed or request.client_node is None:
+        return options
+    local = [m for m in options if m.node is request.client_node]
+    return local or options
+
+
+def place_replicas(
+    cluster: "Cluster",
+    request: PlacementRequest,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+    ctx: ObjectiveContext | None = None,
+    rng=None,
+) -> list["StorageMedium"]:
+    """Algorithm 2: greedily choose media for every entry of the vector.
+
+    Returns the chosen media in pipeline order. Raises
+    :class:`~repro.errors.InsufficientStorageError` when a replica
+    cannot be placed anywhere.
+
+    ``rng`` (a :class:`~repro.util.rng.DeterministicRng`) shuffles each
+    entry's option list before scoring. ``solve_moop`` keeps the first
+    of equally scored options, so without shuffling a policy whose
+    objective ties across media (e.g. pure throughput maximization,
+    where every SSD scores identically) would pile replicas onto the
+    list head; shuffling turns exact ties into an even spread.
+    """
+    entries = expand_vector(
+        request.rep_vector, {t.name: t.rank for t in cluster.tiers.values()}
+    )
+    if not entries:
+        raise PlacementError("placement requested with an empty vector")
+    if ctx is None:
+        ctx = ObjectiveContext.from_cluster(
+            cluster, block_size=request.block_size
+        )
+    chosen: list["StorageMedium"] = []
+    base = list(request.existing_replicas)
+    for entry in entries:
+        try:
+            options = gen_options(cluster, request, chosen, entry)
+        except InsufficientStorageError:
+            if entry.required_tier is None:
+                raise
+            # Requested tier is full: fall back to policy choice, like
+            # HDFS storage-policy creation fallbacks. The replica still
+            # gets placed; the tier preference degrades gracefully.
+            options = gen_options(cluster, request, chosen, ReplicaEntry(None))
+        if rng is not None:
+            rng.shuffle(options)
+        scored_against = base + chosen
+        best = solve_moop(options, scored_against, ctx, objectives)
+        chosen.append(best)
+    return chosen
+
+
+def exhaustive_place_replicas(
+    cluster: "Cluster",
+    request: PlacementRequest,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+) -> list["StorageMedium"]:
+    """Reference implementation: enumerate every r-combination.
+
+    Exponential (``O(r·sʳ)``); exists only so tests and the ablation
+    bench can measure how close the greedy solution gets to the true
+    global-criterion optimum on small instances.
+    """
+    from itertools import combinations
+
+    entries = expand_vector(
+        request.rep_vector, {t.name: t.rank for t in cluster.tiers.values()}
+    )
+    count = len(entries)
+    ctx = ObjectiveContext.from_cluster(cluster, block_size=request.block_size)
+    eligible = [
+        m
+        for m in cluster.live_media()
+        if m.remaining >= request.block_size
+        and m.medium_id not in request.excluded_media
+    ]
+    required = sorted(
+        (e.required_tier for e in entries if e.required_tier), reverse=True
+    )
+    best: tuple[float, list["StorageMedium"]] | None = None
+    for combo in combinations(eligible, count):
+        tiers = sorted(
+            (m.tier_name for m in combo if m.tier_name in required), reverse=True
+        )
+        if required and tiers[: len(required)] != required:
+            continue
+        if not _satisfies_tiers(combo, entries):
+            continue
+        score = global_criterion_score(
+            list(request.existing_replicas) + list(combo), ctx, objectives
+        )
+        if best is None or score < best[0]:
+            best = (score, list(combo))
+    if best is None:
+        raise InsufficientStorageError("no feasible combination exists")
+    return best[1]
+
+
+def _satisfies_tiers(
+    combo: Sequence["StorageMedium"], entries: Sequence[ReplicaEntry]
+) -> bool:
+    """Check that a combination can cover all required-tier entries."""
+    pool = [m.tier_name for m in combo]
+    for entry in entries:
+        if entry.required_tier is None:
+            continue
+        if entry.required_tier not in pool:
+            return False
+        pool.remove(entry.required_tier)
+    return True

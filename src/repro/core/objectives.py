@@ -1,0 +1,227 @@
+"""The four placement objectives and the ideal vector (paper §3.2).
+
+The data placement problem is formulated as a multi-objective
+optimization problem (MOOP) over four simultaneously maximized
+objectives — data balancing (Eq. 1), load balancing (Eq. 3), fault
+tolerance (Eq. 5), and throughput maximization (Eq. 7) — each paired
+with the theoretical upper bound of its Pareto-optimal value (Eqs. 2,
+4, 6, 8). The global-criterion method (Eq. 11) then scores a candidate
+replica set by its Euclidean distance to the ideal objective vector
+``z*`` (Eq. 10); smaller is better.
+
+All functions take the candidate list of :class:`~repro.cluster.media.
+StorageMedium` and an :class:`ObjectiveContext` carrying the
+cluster-wide statistics the formulas reference (block size, tier/node/
+rack totals, maxima over all media). The context is built once per
+placement decision, which mirrors the paper's Master computing against
+its heartbeat-reported statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.media import StorageMedium
+
+#: Objective key names, in the paper's presentation order.
+DATA_BALANCING = "db"
+LOAD_BALANCING = "lb"
+FAULT_TOLERANCE = "ft"
+THROUGHPUT_MAX = "tm"
+ALL_OBJECTIVES = (DATA_BALANCING, LOAD_BALANCING, FAULT_TOLERANCE, THROUGHPUT_MAX)
+
+
+@dataclass
+class ObjectiveContext:
+    """Cluster-wide statistics referenced by the objective formulas."""
+
+    block_size: int
+    total_tiers: int  # k in Eq. 5
+    total_nodes: int  # n in Eq. 5
+    total_racks: int  # t in Eq. 5
+    max_remaining_fraction: float  # max_m Rem[m]/Cap[m] in Eq. 2
+    min_connections: int  # min_m NrConn[m] in Eq. 4
+    max_write_throughput: float  # max_m WThru[m] in Eqs. 7-8
+    tier_write_throughput: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_cluster(
+        cls,
+        cluster: "Cluster",
+        block_size: int | None = None,
+        media: Sequence["StorageMedium"] | None = None,
+    ) -> "ObjectiveContext":
+        """Snapshot the statistics the Master would hold from heartbeats.
+
+        ``media`` defaults to every live medium in the cluster; passing
+        a subset models a Master with a partial view.
+        """
+        live = list(media) if media is not None else cluster.live_media()
+        if not live:
+            raise PlacementError("no live storage media in the cluster")
+        tier_thru = {
+            tier.name: tier.avg_write_throughput()
+            for tier in cluster.active_tiers()
+        }
+        worker_nodes = {m.node for m in live}
+        racks = {node.rack for node in worker_nodes}
+        return cls(
+            block_size=cluster.block_size if block_size is None else block_size,
+            total_tiers=len({m.tier_name for m in live}),
+            total_nodes=len(worker_nodes),
+            total_racks=len(racks),
+            max_remaining_fraction=max(m.remaining_fraction for m in live),
+            min_connections=min(m.nr_connections for m in live),
+            max_write_throughput=max(tier_thru.values()),
+            tier_write_throughput=tier_thru,
+        )
+
+    def write_throughput_of(self, medium: "StorageMedium") -> float:
+        """``WThru[m]``: the per-tier averaged value (paper §3.2)."""
+        return self.tier_write_throughput.get(
+            medium.tier_name, medium.write_throughput
+        )
+
+
+# ----------------------------------------------------------------------
+# Objective functions (Eqs. 1, 3, 5, 7)
+# ----------------------------------------------------------------------
+def data_balancing(
+    media: Sequence["StorageMedium"], ctx: ObjectiveContext
+) -> float:
+    """Eq. 1: sum of remaining-capacity fractions after the new block."""
+    return sum(
+        (m.remaining - ctx.block_size) / m.capacity for m in media
+    )
+
+
+def load_balancing(
+    media: Sequence["StorageMedium"], ctx: ObjectiveContext
+) -> float:
+    """Eq. 3: sum of inverse (connections + 1)."""
+    return sum(1.0 / (m.nr_connections + 1) for m in media)
+
+
+def fault_tolerance(
+    media: Sequence["StorageMedium"], ctx: ObjectiveContext
+) -> float:
+    """Eq. 5: distinct-tier, distinct-node, and two-rack terms."""
+    if not media:
+        return 0.0
+    count = len(media)
+    nr_tiers = len({m.tier_name for m in media})
+    nr_nodes = len({m.node for m in media})
+    nr_racks = len({m.node.rack for m in media})
+    tier_term = nr_tiers / min(count, ctx.total_tiers)
+    node_term = nr_nodes / min(count, ctx.total_nodes)
+    if ctx.total_racks == 1:
+        rack_term = 1.0
+    else:
+        rack_term = 1.0 / (abs(nr_racks - 2) + 1)
+    return tier_term + node_term + rack_term
+
+
+def throughput_maximization(
+    media: Sequence["StorageMedium"], ctx: ObjectiveContext
+) -> float:
+    """Eq. 7: sum of log-scaled throughput ratios.
+
+    Throughputs are per-tier averages; the logarithm damps the large
+    memory-vs-HDD gap as described in §3.2.
+    """
+    log_max = math.log(max(ctx.max_write_throughput, math.e))
+    total = 0.0
+    for medium in media:
+        thru = max(ctx.write_throughput_of(medium), 1.0)
+        total += math.log(thru) / log_max
+    return total
+
+
+# ----------------------------------------------------------------------
+# Ideal (upper bound) functions (Eqs. 2, 4, 6, 8)
+# ----------------------------------------------------------------------
+def ideal_data_balancing(count: int, ctx: ObjectiveContext) -> float:
+    """Eq. 2: ``|m| * max_m Rem[m]/Cap[m]``."""
+    return count * ctx.max_remaining_fraction
+
+
+def ideal_load_balancing(count: int, ctx: ObjectiveContext) -> float:
+    """Eq. 4: ``|m| / (min_m NrConn[m] + 1)``."""
+    return count / (ctx.min_connections + 1)
+
+
+def ideal_fault_tolerance(count: int, ctx: ObjectiveContext) -> float:
+    """Eq. 6: the constant 3."""
+    return 3.0
+
+
+def ideal_throughput_maximization(count: int, ctx: ObjectiveContext) -> float:
+    """Eq. 8: ``|m|`` (all ratios equal to one)."""
+    return float(count)
+
+
+_OBJECTIVES: dict[str, Callable[[Sequence["StorageMedium"], ObjectiveContext], float]] = {
+    DATA_BALANCING: data_balancing,
+    LOAD_BALANCING: load_balancing,
+    FAULT_TOLERANCE: fault_tolerance,
+    THROUGHPUT_MAX: throughput_maximization,
+}
+
+_IDEALS: dict[str, Callable[[int, ObjectiveContext], float]] = {
+    DATA_BALANCING: ideal_data_balancing,
+    LOAD_BALANCING: ideal_load_balancing,
+    FAULT_TOLERANCE: ideal_fault_tolerance,
+    THROUGHPUT_MAX: ideal_throughput_maximization,
+}
+
+
+def register_objective(
+    name: str,
+    objective: Callable[[Sequence["StorageMedium"], ObjectiveContext], float],
+    ideal: Callable[[int, ObjectiveContext], float],
+) -> None:
+    """Register a custom objective usable anywhere a name is accepted.
+
+    This is the extension point for experimenting with alternative
+    formulations (e.g. the ablation bench registers a raw, un-logged
+    throughput objective to quantify Eq. 7's log scaling).
+    """
+    _OBJECTIVES[name] = objective
+    _IDEALS[name] = ideal
+
+
+def objective_vector(
+    media: Sequence["StorageMedium"],
+    ctx: ObjectiveContext,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+) -> list[float]:
+    """Eq. 9: the vector-valued objective ``f(m⃗)`` (or a subset of it)."""
+    return [_OBJECTIVES[name](media, ctx) for name in objectives]
+
+
+def ideal_vector(
+    count: int,
+    ctx: ObjectiveContext,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+) -> list[float]:
+    """Eq. 10: the ideal objective vector ``z*`` for ``count`` media."""
+    return [_IDEALS[name](count, ctx) for name in objectives]
+
+
+def global_criterion_score(
+    media: Sequence["StorageMedium"],
+    ctx: ObjectiveContext,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+) -> float:
+    """Eq. 11: Euclidean distance ``‖f(m⃗) − z*(m⃗)‖`` (minimize)."""
+    actual = objective_vector(media, ctx, objectives)
+    ideal = ideal_vector(len(media), ctx, objectives)
+    return math.sqrt(
+        sum((a - z) ** 2 for a, z in zip(actual, ideal))
+    )

@@ -1,0 +1,228 @@
+"""The balancer: redistributing replicas within a tier.
+
+HDFS ships a Balancer daemon for exactly the situation the paper's
+data-balancing objective (Eq. 1) prevents at write time but cannot fix
+after the fact: media filling unevenly as nodes join, files are
+deleted, or long sequential writes skew placement. This is the
+OctopusFS equivalent — tier-aware: utilization is balanced *within*
+each storage tier (moving a memory replica to an HDD would change the
+file's tier semantics, so cross-tier moves stay the business of
+replication vectors).
+
+The algorithm mirrors HDFS's: per tier, compute mean utilization; media
+above ``mean + threshold`` donate replicas to media below
+``mean − threshold``, never co-locating two replicas of one block on a
+node, until every medium is inside the band or no legal move remains.
+Moves are real data transfers on the simulated network (copy then
+delete), so a balancer run competes for bandwidth like any client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import WorkerError
+from repro.fs.blocks import Replica
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.media import StorageMedium
+    from repro.fs.system import OctopusFileSystem
+
+
+@dataclass(frozen=True)
+class PlannedMove:
+    """One replica relocation: ``replica`` from its medium to ``target``."""
+
+    replica: Replica
+    target: "StorageMedium"
+
+    @property
+    def nbytes(self) -> int:
+        return self.replica.block.size
+
+
+@dataclass
+class BalancerReport:
+    """What a balancer run did."""
+
+    iterations: int = 0
+    moves_executed: int = 0
+    bytes_moved: int = 0
+    #: max |utilization − tier mean| per tier, after balancing.
+    final_spread: dict[str, float] = field(default_factory=dict)
+
+
+class Balancer:
+    """Tier-aware replica rebalancer.
+
+    ``threshold`` is the allowed deviation from the tier's mean
+    utilization (HDFS's default is 10 %; so is ours).
+    """
+
+    def __init__(self, system: "OctopusFileSystem", threshold: float = 0.10) -> None:
+        self.system = system
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def utilization(self, medium: "StorageMedium") -> float:
+        return medium.used / medium.capacity
+
+    def tier_mean(self, tier_name: str) -> float:
+        media = self.system.cluster.tier(tier_name).live_media
+        if not media:
+            return 0.0
+        return sum(self.utilization(m) for m in media) / len(media)
+
+    def spread(self) -> dict[str, float]:
+        """Per tier: the worst deviation from the tier mean."""
+        out = {}
+        for tier in self.system.cluster.active_tiers():
+            mean = self.tier_mean(tier.name)
+            out[tier.name] = max(
+                (abs(self.utilization(m) - mean) for m in tier.live_media),
+                default=0.0,
+            )
+        return out
+
+    def plan(self, max_moves_per_tier: int = 50) -> list[PlannedMove]:
+        """Compute the next batch of replica moves."""
+        moves: list[PlannedMove] = []
+        for tier in self.system.cluster.active_tiers():
+            moves.extend(self._plan_tier(tier.name, max_moves_per_tier))
+        return moves
+
+    def _plan_tier(self, tier_name: str, max_moves: int) -> list[PlannedMove]:
+        cluster = self.system.cluster
+        media = list(cluster.tier(tier_name).live_media)
+        if len(media) < 2:
+            return []
+        mean = self.tier_mean(tier_name)
+        donors = sorted(
+            (m for m in media if self.utilization(m) > mean + self.threshold),
+            key=self.utilization,
+            reverse=True,
+        )
+        moves: list[PlannedMove] = []
+        planned_delta: dict[str, int] = {}  # medium_id -> pending bytes +/-
+
+        def projected(medium: "StorageMedium") -> float:
+            return (
+                medium.used + planned_delta.get(medium.medium_id, 0)
+            ) / medium.capacity
+
+        for donor in donors:
+            for replica in self._movable_replicas(donor):
+                if projected(donor) <= mean + self.threshold:
+                    break
+                target = self._pick_receiver(
+                    media, replica, mean, projected
+                )
+                if target is None:
+                    continue
+                moves.append(PlannedMove(replica=replica, target=target))
+                planned_delta[donor.medium_id] = (
+                    planned_delta.get(donor.medium_id, 0) - replica.block.size
+                )
+                planned_delta[target.medium_id] = (
+                    planned_delta.get(target.medium_id, 0) + replica.block.size
+                )
+                if len(moves) >= max_moves:
+                    return moves
+        return moves
+
+    def _movable_replicas(self, medium: "StorageMedium") -> list[Replica]:
+        """Finalized, healthy replicas on this medium, largest first."""
+        record = self.system.master.workers.get(medium.node.name)
+        if record is None or record.dead:
+            return []
+        replicas = [
+            replica
+            for replica in record.worker.block_report()
+            if replica.medium is medium and replica.live
+        ]
+        replicas.sort(key=lambda r: r.block.size, reverse=True)
+        return replicas
+
+    def _pick_receiver(self, media, replica, mean, projected):
+        master = self.system.master
+        meta = master.block_map.get(replica.block.block_id)
+        if meta is None:
+            return None
+        occupied_nodes = {r.node for r in meta.live_replicas()}
+        def fits_after(m) -> bool:
+            after = projected(m) + replica.block.size / m.capacity
+            return after <= mean + self.threshold
+
+        candidates = [
+            m
+            for m in media
+            if m is not replica.medium
+            and m.node not in occupied_nodes
+            and m.remaining >= replica.block.size
+            and projected(m) < mean
+            and fits_after(m)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=projected)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: int = 20) -> BalancerReport:
+        """Plan and execute until balanced (or the plan dries up)."""
+        report = BalancerReport()
+        for _ in range(max_iterations):
+            moves = self.plan()
+            if not moves:
+                break
+            report.iterations += 1
+            procs = [
+                self.system.engine.process(
+                    self._move_proc(move), name="balancer-move"
+                )
+                for move in moves
+            ]
+            results = self.system.engine.run(self.system.engine.all_of(procs))
+            for moved in results:
+                if moved:
+                    report.moves_executed += 1
+                    report.bytes_moved += moved
+        report.final_spread = self.spread()
+        return report
+
+    def _move_proc(self, move: PlannedMove) -> Generator:
+        """Copy the replica to the target, then drop the source."""
+        master = self.system.master
+        meta = master.block_map.get(move.replica.block.block_id)
+        if meta is None or not move.replica.live:
+            return 0  # the block vanished while we planned
+        try:
+            move.target.reserve(move.replica.block.capacity)
+        except Exception:
+            return 0
+        worker = master.worker_for(move.target.node)
+        try:
+            new_replica = yield from worker.copy_replica_proc(
+                move.replica.block,
+                move.replica,
+                move.target,
+                move.replica.bound_tier,
+            )
+        except WorkerError:
+            return 0
+        meta.replicas.append(new_replica)
+        master.namespace.charge_tier_space(
+            meta.inode, new_replica.tier_name, move.replica.block.size
+        )
+        # Drop the donor copy.
+        if move.replica in meta.replicas:
+            meta.replicas.remove(move.replica)
+        master._delete_replica_from_worker(move.replica)
+        master.namespace.charge_tier_space(
+            meta.inode, move.replica.tier_name, -move.replica.block.size
+        )
+        return move.replica.block.size

@@ -1,0 +1,124 @@
+"""The edit log: a replayable journal of namespace mutations.
+
+The Master appends every successful namespace mutation to its edit log;
+a Backup Master tails the log and replays it against its own namespace
+image, so it can take over (or write a checkpoint) at any time (§2.1).
+
+Records are plain dicts with an ``op`` key — trivially serializable and
+easy to assert on in tests. ``replay`` applies a record stream to a
+namespace using superuser credentials (permissions were already checked
+when the op first ran).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.replication_vector import ReplicationVector
+from repro.errors import FileSystemError
+from repro.fs.namespace import SUPERUSER, Namespace, UserContext
+
+
+class EditLog:
+    """An append-only journal with transaction ids."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def append(self, record: dict) -> None:
+        record = dict(record)
+        record["txid"] = len(self.records) + 1
+        self.records.append(record)
+
+    @property
+    def last_txid(self) -> int:
+        return len(self.records)
+
+    def since(self, txid: int) -> list[dict]:
+        """Records strictly after transaction ``txid``."""
+        return self.records[txid:]
+
+    def truncate_through(self, txid: int) -> None:
+        """Drop records up to and including ``txid`` (post-checkpoint)."""
+        keep = [r for r in self.records if r["txid"] > txid]
+        self.records = keep
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def replay(records: Iterable[dict], namespace: Namespace) -> int:
+    """Apply an edit-record stream to a namespace; returns ops applied."""
+    applied = 0
+    for record in records:
+        _apply(record, namespace)
+        applied += 1
+    return applied
+
+
+def _apply(record: dict, ns: Namespace) -> None:
+    op = record.get("op")
+    order = ns.tier_order
+    if op == "mkdir":
+        directory = ns.mkdir(record["path"], SUPERUSER, record["mode"])
+        directory.owner = record["user"]
+    elif op == "create_file":
+        inode, _freed = ns.create_file(
+            record["path"],
+            ReplicationVector.decode(record["rep_vector"], order),
+            record["block_size"],
+            SUPERUSER,
+            record["mode"],
+            overwrite=True,
+        )
+        inode.owner = record["user"]
+    elif op == "add_block":
+        from repro.fs.blocks import Block
+
+        inode = ns.get_file(record["path"])
+        block = Block(
+            record["path"],
+            record["index"],
+            inode.block_size,
+            block_id=record["block_id"],
+        )
+        block.size = record["size"]
+        inode.blocks.append(block)
+    elif op == "update_block":
+        inode = ns.get_file(record["path"])
+        inode.blocks[record["index"]].size = record["size"]
+    elif op == "append":
+        ns.get_file(record["path"]).under_construction = True
+    elif op == "complete_file":
+        ns.complete_file(record["path"])
+    elif op == "concat":
+        target = ns.get_file(record["target"])
+        for src_path in record["sources"]:
+            src = ns.get_file(src_path)
+            for block in src.blocks:
+                block.index = len(target.blocks)
+                block.file_path = record["target"]
+                target.blocks.append(block)
+            src.blocks = []
+        # The source deletes follow as their own journaled records.
+    elif op == "rename":
+        ns.rename(record["src"], record["dst"])
+    elif op == "delete":
+        ns.delete(record["path"], recursive=record["recursive"])
+    elif op == "set_replication":
+        ns.set_replication_vector(
+            record["path"],
+            ReplicationVector.decode(record["rep_vector"], order),
+        )
+    elif op == "set_permission":
+        ns.set_permission(record["path"], record["mode"])
+    elif op == "set_owner":
+        ns.set_owner(record["path"], record["owner"], record["group"])
+    elif op == "set_quota":
+        ns.set_quota(
+            record["path"],
+            record["namespace_quota"],
+            record["tier_space_quota"],
+        )
+    else:
+        raise FileSystemError(f"unknown edit-log op: {op!r}")

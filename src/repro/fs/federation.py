@@ -1,0 +1,103 @@
+"""Master federation: scaling the name service horizontally (§2.1).
+
+As in HDFS federation, multiple independent Primary Masters each own a
+slice of the namespace; every worker serves blocks for all of them. The
+client routes each operation to the owning master via a mount table of
+path prefixes (longest match wins), so applications see one namespace.
+
+>>> fs = FederatedFileSystem(small_cluster_spec(), mounts=("/data", "/logs"))
+>>> fs.master_for("/data/x") is fs.master_for("/logs/y")
+False
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+from repro.core.placement import BlockPlacementPolicy
+from repro.core.retrieval import DataRetrievalPolicy
+from repro.errors import ConfigurationError
+from repro.fs import paths
+from repro.fs.master import Master
+from repro.fs.system import OctopusFileSystem
+
+
+class FederatedFileSystem(OctopusFileSystem):
+    """An OctopusFS deployment with one master per mount point.
+
+    ``mounts`` are namespace prefixes each owned by a dedicated master;
+    everything else falls to the default master at ``/``. Cross-mount
+    renames are rejected (they would span two independent masters).
+    """
+
+    def __init__(
+        self,
+        spec_or_cluster: ClusterSpec | Cluster,
+        mounts: tuple[str, ...] = (),
+        placement_policy: BlockPlacementPolicy | None = None,
+        retrieval_policy: DataRetrievalPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            spec_or_cluster,
+            placement_policy=placement_policy,
+            retrieval_policy=retrieval_policy,
+        )
+        self.mount_table: dict[str, Master] = {"/": self.master}
+        for mount in mounts:
+            mount = paths.normalize(mount)
+            if mount in self.mount_table:
+                raise ConfigurationError(f"duplicate mount {mount!r}")
+            master = Master(
+                self.cluster,
+                placement_policy=self.master.placement_policy,
+                retrieval_policy=self.master.retrieval_policy,
+                name=f"master:{mount}",
+            )
+            for worker in self.workers.values():
+                master.register_worker(worker)
+            master.mkdir(mount)
+            self.mount_table[mount] = master
+
+    @property
+    def masters(self) -> list[Master]:
+        return list(self.mount_table.values())
+
+    def master_for(self, path: str) -> Master:
+        """Route a path to its owning master (longest-prefix match)."""
+        path = paths.normalize(path)
+        best = "/"
+        for mount in self.mount_table:
+            if paths.is_ancestor(mount, path) and len(mount) > len(best):
+                best = mount
+        return self.mount_table[best]
+
+    def client(self, on=None, user=None):  # type: ignore[override]
+        from repro.fs.namespace import SUPERUSER
+
+        client = super().client(on, user or SUPERUSER)
+        original_rename = client.rename
+
+        def rename(src: str, dst: str) -> None:
+            if self.master_for(src) is not self.master_for(dst):
+                raise ConfigurationError(
+                    f"cannot rename across federation mounts: {src!r} -> {dst!r}"
+                )
+            original_rename(src, dst)
+
+        client.rename = rename  # type: ignore[method-assign]
+        return client
+
+    def await_replication(self, max_rounds: int = 1000) -> int:
+        """Converge every federated master's replication state."""
+        from repro.errors import WorkerError
+
+        for round_number in range(1, max_rounds + 1):
+            processes = []
+            for master in self.masters:
+                processes.extend(master.check_replication())
+            if processes:
+                self.engine.run(self.engine.all_of(processes))
+                continue
+            if all(m.pending_replication == 0 for m in self.masters):
+                return round_number
+        raise WorkerError(f"replication did not converge in {max_rounds} passes")

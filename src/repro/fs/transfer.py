@@ -1,0 +1,63 @@
+"""Assembling the fluid-flow resource sets for data transfers.
+
+Three transfer shapes exist in the system, mirroring §3.1 and §4.1:
+
+* **Pipeline write** — the client streams a block through a
+  worker-to-worker pipeline (client → ⟨W1,M⟩ → ⟨W3,H⟩ → ⟨W6,H⟩ in the
+  paper's example). A pipeline is a *single* flow crossing every stage's
+  network hops plus every target medium's write channel, so its rate is
+  set by the slowest stage — exactly the paper's observation that one
+  HDD replica bottlenecks a multi-tier pipeline at low parallelism.
+* **Replica read** — medium read channel plus the network path from the
+  hosting worker to the client (empty for a local read).
+* **Replica copy** — re-replication: source read channel, the path
+  between the two workers, destination write channel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.sim.flows import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.media import StorageMedium
+    from repro.cluster.topology import NetworkTopology, Node
+
+
+def pipeline_resources(
+    topology: "NetworkTopology",
+    client_node: "Node | None",
+    targets: Sequence["StorageMedium"],
+) -> list[Resource]:
+    """Resources crossed by a pipelined block write."""
+    resources: list[Resource] = []
+    hop_from = client_node
+    for medium in targets:
+        resources.extend(topology.path_resources(hop_from, medium.node))
+        resources.append(medium.write_channel)
+        hop_from = medium.node
+    return resources
+
+
+def read_resources(
+    topology: "NetworkTopology",
+    medium: "StorageMedium",
+    client_node: "Node | None",
+) -> list[Resource]:
+    """Resources crossed when a client reads one replica."""
+    resources: list[Resource] = [medium.read_channel]
+    resources.extend(topology.path_resources(medium.node, client_node))
+    return resources
+
+
+def copy_resources(
+    topology: "NetworkTopology",
+    source: "StorageMedium",
+    destination: "StorageMedium",
+) -> list[Resource]:
+    """Resources crossed by a worker-to-worker replica copy."""
+    resources: list[Resource] = [source.read_channel]
+    resources.extend(topology.path_resources(source.node, destination.node))
+    resources.append(destination.write_channel)
+    return resources

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the execution substrate that stands in for the
+paper's physical 10-node cluster:
+
+* :mod:`repro.sim.engine` — a minimal SimPy-style engine: simulated
+  clock, event heap, and generator-based processes.
+* :mod:`repro.sim.events` — waitable events (:class:`Event`,
+  :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`).
+* :mod:`repro.sim.flows` — a fluid-flow bandwidth model: long-running
+  data transfers share NIC/switch/media capacity under max–min fairness,
+  which is what produces the concurrency effects the paper measures
+  (SSD-vs-3×HDD crossover, network congestion decline, etc.).
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.flows import Flow, FlowScheduler, Resource
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Flow",
+    "FlowScheduler",
+    "Resource",
+]

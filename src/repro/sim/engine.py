@@ -1,0 +1,196 @@
+"""The discrete-event simulation engine.
+
+The engine keeps a simulated clock and a priority queue of scheduled
+callbacks. *Processes* are Python generators that ``yield`` events
+(:class:`~repro.sim.events.Event` subclasses); the engine resumes a
+process when the event it waits on triggers, passing the event's value
+back into the generator (or throwing its exception).
+
+The engine is single-threaded and fully deterministic: ties in the event
+heap are broken by insertion order.
+
+Example
+-------
+>>> engine = SimulationEngine()
+>>> def hello(engine):
+...     yield engine.timeout(5.0)
+...     return engine.now
+>>> proc = engine.process(hello(engine))
+>>> engine.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class Process(Event):
+    """A running generator; it is itself an event that triggers on return.
+
+    The generator's ``return`` value becomes the process's event value.
+    An uncaught exception inside the generator fails the process event,
+    propagating to any process waiting on it.
+    """
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(engine)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        # Kick off the generator on the next engine step at the current time.
+        bootstrap = Event(engine)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        try:
+            if event.ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process crashed
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances"
+                )
+            )
+            return
+        target.add_callback(self._resume)
+
+
+class SimulationEngine:
+    """Simulated clock plus event heap; the heart of the substrate."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event the caller will settle manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a process from a generator; returns the waitable process."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals (used by Event/Timeout)
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule a bare callback at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, callback))
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a bare callback ``delay`` seconds from now."""
+        self.call_at(self._now + delay, callback)
+
+    def _schedule_timeout(self, event: Timeout, delay: float, value: Any) -> None:
+        self.call_at(self._now + delay, lambda: event.succeed(value))
+
+    def _schedule_callbacks(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            self._sequence += 1
+            heapq.heappush(
+                self._heap,
+                (self._now, self._sequence, lambda cb=callback: cb(event)),
+            )
+
+    def _schedule_single_callback(
+        self, event: Event, callback: Callable[[Event], None]
+    ) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self._now, self._sequence, lambda: callback(event))
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance to the next scheduled callback and run it."""
+        if not self._heap:
+            raise SimulationError("step() called on an empty event heap")
+        when, _seq, callback = heapq.heappop(self._heap)
+        self._now = when
+        callback()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until the event heap drains.
+        * ``until=<float>`` — run until simulated time reaches the value.
+        * ``until=<Event>`` — run until the event triggers, then return
+          its value (raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            while not until.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            return until.value
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError("run(until=...) target is in the past")
+            while self._heap and self._heap[0][0] <= deadline:
+                self.step()
+            self._now = deadline
+            return None
+        while self._heap:
+            self.step()
+        return None
+
+    def run_process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Any:
+        """Start a process and run the simulation until it completes."""
+        return self.run(self.process(generator, name=name))

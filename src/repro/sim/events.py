@@ -1,0 +1,143 @@
+"""Waitable events for the simulation engine.
+
+An :class:`Event` is a one-shot future living on a simulated timeline.
+Processes (generators driven by :class:`~repro.sim.engine.SimulationEngine`)
+``yield`` events to suspend until the event triggers; the event's value
+becomes the result of the ``yield`` expression, and a failed event raises
+its exception inside the process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import SimulationEngine
+
+PENDING = "pending"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+
+class Event:
+    """A one-shot, waitable occurrence on the simulated timeline."""
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._exception: BaseException | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def ok(self) -> bool:
+        return self._state == SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value read before it triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; callbacks run at the current time."""
+        self._settle(SUCCEEDED, value=value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._settle(FAILED, exception=exception)
+        return self
+
+    def _settle(
+        self,
+        state: str,
+        value: Any = None,
+        exception: BaseException | None = None,
+    ) -> None:
+        if self._state != PENDING:
+            raise SimulationError("event triggered twice")
+        self._state = state
+        self._value = value
+        self._exception = exception
+        self.engine._schedule_callbacks(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; runs immediately if already triggered."""
+        if self.triggered:
+            self.engine._schedule_single_callback(self, callback)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` simulated seconds after creation."""
+
+    def __init__(
+        self, engine: "SimulationEngine", delay: float, value: Any = None
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        engine._schedule_timeout(self, delay, value)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, engine: "SimulationEngine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when all child events succeed; fails fast on any failure."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Succeeds with the first child to succeed; fails if the first settles badly."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.exception)  # type: ignore[arg-type]

@@ -1,0 +1,25 @@
+"""Small shared utilities: unit parsing, deterministic RNG, identifiers."""
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    format_bytes,
+    format_rate,
+    parse_bytes,
+    parse_rate,
+)
+from repro.util.rng import DeterministicRng
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "parse_bytes",
+    "format_bytes",
+    "parse_rate",
+    "format_rate",
+    "DeterministicRng",
+]

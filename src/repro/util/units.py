@@ -1,0 +1,101 @@
+"""Byte-size and transfer-rate units.
+
+The library follows the paper (and HDFS) in using binary units: ``1 MB``
+here means 2**20 bytes. Rates are bytes per (simulated) second; the
+paper's throughput tables are quoted in MB/s, so :func:`parse_rate`
+accepts strings like ``"126.3MB/s"`` and :func:`format_rate` prints the
+same way.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "M": MB,
+    "MB": MB,
+    "G": GB,
+    "GB": GB,
+    "T": TB,
+    "TB": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_bytes(value: int | float | str) -> int:
+    """Parse a byte count from an int, float, or string like ``"64GB"``.
+
+    >>> parse_bytes("4GB") == 4 * GB
+    True
+    >>> parse_bytes(128.5)
+    128
+    """
+    if isinstance(value, (int, float)):
+        return int(value)
+    match = _SIZE_RE.match(value)
+    if not match:
+        raise ValueError(f"cannot parse byte size: {value!r}")
+    number, unit = match.groups()
+    unit = unit.upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown size unit {unit!r} in {value!r}")
+    return int(float(number) * _UNIT_FACTORS[unit])
+
+
+def parse_rate(value: int | float | str) -> float:
+    """Parse a transfer rate in bytes/second.
+
+    Accepts numbers (bytes/s) or strings like ``"340.6MB/s"`` /
+    ``"10Gbit/s"`` (bits are divided by 8).
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = value.strip()
+    is_bits = False
+    lowered = text.lower()
+    for suffix in ("bit/s", "bits/s", "bps"):
+        if lowered.endswith(suffix):
+            is_bits = True
+            text = text[: -len(suffix)]
+            break
+    else:
+        if lowered.endswith("/s"):
+            text = text[:-2]
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse rate: {value!r}")
+    number, unit = match.groups()
+    unit = unit.upper().rstrip("B") + ("B" if unit else "")
+    unit = unit if unit in _UNIT_FACTORS else unit.rstrip("B")
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown rate unit in {value!r}")
+    rate = float(number) * _UNIT_FACTORS[unit]
+    return rate / 8.0 if is_bits else rate
+
+
+def format_bytes(num_bytes: int | float) -> str:
+    """Render a byte count with the largest sensible binary unit.
+
+    >>> format_bytes(4 * GB)
+    '4.00GB'
+    """
+    num = float(num_bytes)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(num) >= factor:
+            return f"{num / factor:.2f}{unit}"
+    return f"{num:.0f}B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a rate as MB/s, matching the paper's tables."""
+    return f"{bytes_per_second / MB:.1f}MB/s"

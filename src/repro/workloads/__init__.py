@@ -1,0 +1,25 @@
+"""Workload generators and engine simulations used by the evaluation.
+
+* :mod:`repro.workloads.dfsio` — the DFSIO distributed I/O benchmark
+  (paper §7.1–7.3): concurrent writers/readers measuring per-worker
+  throughput.
+* :mod:`repro.workloads.slive` — the S-Live namespace stress test
+  (paper §7.4), runnable against the OctopusFS Master and against the
+  plain-HDFS baseline namesystem.
+* :mod:`repro.workloads.hdfs_baseline` — a faithful slim reimplementation
+  of the HDFS namesystem surface (replication shorts, no tiers) used as
+  the Table 3 comparison target.
+* :mod:`repro.workloads.mapreduce` / :mod:`repro.workloads.spark` —
+  task-level engine simulations standing in for Hadoop MapReduce and
+  Spark (paper §7.5).
+* :mod:`repro.workloads.hibench` — the nine HiBench workloads.
+* :mod:`repro.workloads.pegasus` — the four Pegasus graph-mining
+  workloads with the §7.6 prefetch / intermediate-data optimizations.
+"""
+
+from repro.workloads.dfsio import Dfsio, DfsioResult
+
+__all__ = [
+    "Dfsio",
+    "DfsioResult",
+]

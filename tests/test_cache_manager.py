@@ -1,0 +1,179 @@
+"""Tests for the §6 multi-level cache manager and eviction policies."""
+
+import pytest
+
+from repro import OctopusFileSystem, ReplicationVector
+from repro.cluster import small_cluster_spec
+from repro.core.cache import CacheManager, LfuPolicy, LruPolicy
+from repro.errors import ConfigurationError
+from repro.util.units import MB
+
+
+@pytest.fixture
+def fs():
+    return OctopusFileSystem(small_cluster_spec())
+
+
+@pytest.fixture
+def client(fs):
+    return fs.client(on="worker1")
+
+
+def memory_tiers(fs, path):
+    return [
+        tier
+        for loc in fs.client().get_file_block_locations(path)
+        for tier in loc.tiers
+        if tier == "MEMORY"
+    ]
+
+
+class TestEvictionPolicies:
+    def test_lru_victim_is_least_recent(self):
+        policy = LruPolicy()
+        policy.record_access("/a", 1.0)
+        policy.record_access("/b", 2.0)
+        policy.record_access("/a", 3.0)
+        assert policy.victim() == "/b"
+
+    def test_lru_ties_broken_by_order(self):
+        policy = LruPolicy()
+        policy.record_access("/a", 1.0)
+        policy.record_access("/b", 1.0)  # same instant, later sequence
+        assert policy.victim() == "/a"
+
+    def test_lru_forget(self):
+        policy = LruPolicy()
+        policy.record_access("/a", 1.0)
+        policy.forget("/a")
+        assert policy.victim() is None
+
+    def test_lfu_victim_is_least_frequent(self):
+        policy = LfuPolicy()
+        for _ in range(3):
+            policy.record_access("/hot", 1.0)
+        policy.record_access("/cold", 2.0)
+        assert policy.victim() == "/cold"
+
+    def test_lfu_frequency_ties_broken_by_recency(self):
+        policy = LfuPolicy()
+        policy.record_access("/a", 1.0)
+        policy.record_access("/b", 2.0)
+        assert policy.victim() == "/a"
+
+
+class TestCacheManager:
+    def test_promotes_hot_file_to_memory(self, fs, client):
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=2).attach()
+        client.write_file("/hot", size=8 * MB, rep_vector=ReplicationVector.of(hdd=2))
+        client.open("/hot").read_size()
+        assert memory_tiers(fs, "/hot") == []  # one access: not hot yet
+        client.open("/hot").read_size()
+        fs.await_replication()
+        assert len(memory_tiers(fs, "/hot")) == 2  # one per block
+        assert manager.stats.promotions == 1
+        assert "/hot" in manager.stats.cached_paths
+
+    def test_single_access_files_not_promoted(self, fs, client):
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=3).attach()
+        client.write_file("/once", size=4 * MB)
+        client.open("/once").read_size()
+        client.open("/once").read_size()
+        assert manager.stats.promotions == 0
+
+    def test_budget_evicts_lru_victim(self, fs, client):
+        manager = CacheManager(
+            fs, memory_budget=10 * MB, policy=LruPolicy(), promote_after=1
+        ).attach()
+        for name in ("a", "b"):
+            client.write_file(f"/{name}", size=8 * MB, rep_vector=ReplicationVector.of(hdd=2))
+        client.open("/a").read_size()
+        fs.await_replication()
+        assert "/a" in manager.stats.cached_paths
+        client.open("/b").read_size()  # budget forces /a out
+        fs.await_replication()
+        assert manager.stats.cached_paths == {"/b"}
+        assert manager.stats.demotions == 1
+        assert memory_tiers(fs, "/a") == []
+        assert len(memory_tiers(fs, "/b")) == 2
+
+    def test_file_larger_than_budget_rejected(self, fs, client):
+        manager = CacheManager(fs, memory_budget=4 * MB, promote_after=1).attach()
+        client.write_file("/big", size=16 * MB)
+        client.open("/big").read_size()
+        assert manager.stats.promotions == 0
+        assert manager.stats.rejected_too_large == 1
+
+    def test_demotion_keeps_durable_replicas(self, fs, client):
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=1).attach()
+        client.write_file("/keep", data=b"k" * MB, rep_vector=ReplicationVector.of(hdd=2))
+        client.open("/keep").read()
+        fs.await_replication()
+        manager.demote("/keep")
+        fs.await_replication()
+        assert memory_tiers(fs, "/keep") == []
+        assert client.read_file("/keep") == b"k" * MB  # data intact
+
+    def test_flush_demotes_everything(self, fs, client):
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=1).attach()
+        for name in ("x", "y"):
+            client.write_file(f"/{name}", size=4 * MB)
+            client.open(f"/{name}").read_size()
+        fs.await_replication()
+        manager.flush()
+        assert manager.stats.cached_paths == set()
+        assert manager.stats.cached_bytes == 0
+
+    def test_cached_reads_are_faster(self, fs, client):
+        CacheManager(fs, memory_budget=64 * MB, promote_after=1).attach()
+        client.write_file("/speed", size=16 * MB, rep_vector=ReplicationVector.of(hdd=2))
+        t0 = fs.engine.now
+        client.open("/speed").read_size()
+        cold = fs.engine.now - t0
+        fs.await_replication()
+        t1 = fs.engine.now
+        client.open("/speed").read_size()
+        warm = fs.engine.now - t1
+        assert warm < cold
+
+    def test_application_pinned_files_tracked_not_doubled(self, fs, client):
+        """A file the app already pinned in memory is tracked without
+        adding a second memory replica."""
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=1).attach()
+        client.write_file(
+            "/pinned", size=4 * MB, rep_vector=ReplicationVector.of(memory=1, hdd=1)
+        )
+        client.open("/pinned").read_size()
+        fs.await_replication()
+        assert len(memory_tiers(fs, "/pinned")) == 1  # still exactly one
+
+    def test_lfu_policy_keeps_frequent_files(self, fs, client):
+        manager = CacheManager(
+            fs, memory_budget=10 * MB, policy=LfuPolicy(), promote_after=1
+        ).attach()
+        client.write_file("/freq", size=8 * MB)
+        client.write_file("/rare", size=8 * MB)
+        for _ in range(5):
+            client.open("/freq").read_size()
+        fs.await_replication()
+        client.open("/rare").read_size()  # evicts... not /freq
+        fs.await_replication()
+        # /freq has 5 accesses, /rare 1: LFU evicts /rare's candidacy by
+        # refusing to displace /freq (budget fits only one file).
+        assert "/freq" in manager.stats.cached_paths
+
+    def test_detach_stops_tracking(self, fs, client):
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=1).attach()
+        manager.detach()
+        client.write_file("/quiet", size=4 * MB)
+        client.open("/quiet").read_size()
+        assert manager.stats.accesses == 0
+
+    def test_double_attach_rejected(self, fs):
+        manager = CacheManager(fs, memory_budget=MB).attach()
+        with pytest.raises(ConfigurationError):
+            manager.attach()
+
+    def test_invalid_budget_rejected(self, fs):
+        with pytest.raises(ConfigurationError):
+            CacheManager(fs, memory_budget=0)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_unknown_deployment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dfsio", "--deployment", "zfs"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "octopus" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--deployment", "hdfs", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "OriginalHdfsPolicy" in out
+        assert "MEMORY" in out and "HDD" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "MEMORY" in out
+
+    def test_dfsio_with_vector(self, capsys):
+        code = main(
+            [
+                "dfsio",
+                "--size", "512MB",
+                "--parallelism", "3",
+                "--vector", "1,0,2",
+                "--deployment", "octopus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "write" in out and "read" in out
+        assert "node-local read fraction" in out
+
+    def test_slive(self, capsys):
+        assert main(["slive", "--ops", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "rename" in out
+        assert "overhead" in out

@@ -1,0 +1,86 @@
+"""Tests for graceful worker decommissioning."""
+
+import pytest
+
+from repro import OctopusFileSystem, ReplicationVector
+from repro.cluster import small_cluster_spec
+from repro.errors import WorkerError
+from repro.util.units import MB
+
+
+@pytest.fixture
+def fs():
+    return OctopusFileSystem(small_cluster_spec())
+
+
+@pytest.fixture
+def loaded(fs):
+    client = fs.client(on="worker1")
+    payloads = {}
+    for index in range(4):
+        path = f"/data/f{index}"
+        payloads[path] = bytes([index]) * (2 * MB)
+        client.write_file(path, data=payloads[path], rep_vector=2)
+    return client, payloads
+
+
+class TestDecommission:
+    def test_drains_all_replicas(self, fs, loaded):
+        _client, _payloads = loaded
+        target = "worker2"
+        before = len(fs.workers[target].block_report())
+        drained = fs.decommission_worker(target)
+        assert drained == before
+        assert fs.workers[target].block_report() == []
+
+    def test_replication_factors_preserved(self, fs, loaded):
+        fs.decommission_worker("worker1")
+        for meta in fs.master.block_map.values():
+            live = meta.live_replicas()
+            assert len(live) == meta.inode.rep_vector.total_replicas
+            assert all(r.node.name != "worker1" for r in live)
+
+    def test_data_intact_after_decommission(self, fs, loaded):
+        _client, payloads = loaded
+        fs.decommission_worker("worker1")
+        reader = fs.client(on="worker3")
+        for path, payload in payloads.items():
+            assert reader.read_file(path) == payload
+
+    def test_no_new_placements_during_drain(self, fs, loaded):
+        node = fs.cluster.node("worker2")
+        node.decommissioning = True
+        client = fs.client(on="worker1")
+        client.write_file("/fresh", size=4 * MB, rep_vector=3)
+        hosts = fs.client().get_file_block_locations("/fresh")[0].hosts
+        assert "worker2" not in hosts
+
+    def test_retired_worker_is_dead(self, fs, loaded):
+        fs.decommission_worker("worker4")
+        assert fs.master.workers["worker4"].dead
+        assert fs.cluster.node("worker4").failed
+
+    def test_unknown_worker_rejected(self, fs):
+        with pytest.raises(WorkerError):
+            fs.decommission_worker("worker99")
+
+    def test_space_accounting_after_decommission(self, fs, loaded):
+        fs.decommission_worker("worker3")
+        total_used = sum(m.used for m in fs.cluster.live_media())
+        expected = sum(
+            meta.block.size * len(meta.live_replicas())
+            for meta in fs.master.block_map.values()
+        )
+        assert total_used == expected
+        for medium in fs.cluster.node("worker3").media:
+            assert medium.used == 0
+
+    def test_sequential_decommissions(self, fs, loaded):
+        """Two nodes can retire one after the other (2 replicas still
+        fit on the remaining 2 workers)."""
+        _client, payloads = loaded
+        fs.decommission_worker("worker1")
+        fs.decommission_worker("worker2")
+        reader = fs.client(on="worker3")
+        for path, payload in payloads.items():
+            assert reader.read_file(path) == payload

@@ -1,0 +1,95 @@
+"""Tests for the DFSIO benchmark driver."""
+
+import pytest
+
+from repro import OctopusFileSystem, ReplicationVector
+from repro.cluster import small_cluster_spec
+from repro.workloads.dfsio import Dfsio, DfsioResult
+from repro.util.units import MB
+
+
+@pytest.fixture
+def fs():
+    return OctopusFileSystem(small_cluster_spec())
+
+
+@pytest.fixture
+def bench(fs):
+    return Dfsio(fs, sample_interval=0.5)
+
+
+class TestWritePhase:
+    def test_writes_expected_bytes(self, fs, bench):
+        result = bench.write(32 * MB, parallelism=4)
+        assert result.operation == "write"
+        assert result.total_bytes == 32 * MB
+        assert result.files == 4
+        assert result.elapsed > 0
+        listing = fs.master.list_status("/benchmarks/DFSIO")
+        assert len(listing) == 4
+
+    def test_throughput_definition(self, bench):
+        result = bench.write(32 * MB, parallelism=4)
+        expected = result.total_bytes / result.elapsed / result.worker_count
+        assert result.throughput_per_worker == pytest.approx(expected)
+        assert result.throughput_per_worker_mbs == pytest.approx(expected / MB)
+
+    def test_rep_vector_controls_tiers(self, fs, bench):
+        bench.write(16 * MB, parallelism=2, rep_vector=ReplicationVector.of(ssd=2))
+        report = {t.tier_name: t.used for t in fs.master.get_storage_tier_reports()}
+        assert report["SSD"] == 2 * 16 * MB
+        assert report["HDD"] == 0
+
+    def test_task_stats_recorded(self, bench):
+        result = bench.write(32 * MB, parallelism=4)
+        assert len(result.task_stats) == 4
+        assert result.avg_task_rate_mbs > 0
+
+    def test_samples_monotonic(self, bench):
+        result = bench.write(64 * MB, parallelism=4)
+        bytes_series = [b for _t, b in result.samples]
+        assert bytes_series == sorted(bytes_series)
+        assert bytes_series[-1] > 0
+
+    def test_more_parallelism_not_slower_total(self, fs):
+        """Aggregate time for fixed data must not grow when adding writers
+        (the cluster has idle media at d=1)."""
+        fs1 = OctopusFileSystem(small_cluster_spec())
+        t1 = Dfsio(fs1).write(32 * MB, parallelism=1).elapsed
+        fs4 = OctopusFileSystem(small_cluster_spec())
+        t4 = Dfsio(fs4).write(32 * MB, parallelism=4).elapsed
+        assert t4 <= t1 * 1.01
+
+
+class TestReadPhase:
+    def test_reads_back_written_bytes(self, bench):
+        bench.write(32 * MB, parallelism=4)
+        result = bench.read(parallelism=4)
+        assert result.operation == "read"
+        assert result.total_bytes == 32 * MB
+        assert result.elapsed > 0
+
+    def test_locality_fraction_in_range(self, bench):
+        bench.write(32 * MB, parallelism=4)
+        result = bench.read(parallelism=4)
+        assert 0.0 <= result.locality_fraction <= 1.0
+
+    def test_deterministic_given_seed(self):
+        def run():
+            fs = OctopusFileSystem(small_cluster_spec(seed=5))
+            bench = Dfsio(fs)
+            w = bench.write(32 * MB, parallelism=4)
+            r = bench.read(parallelism=4)
+            return w.elapsed, r.elapsed
+
+        assert run() == run()
+
+    def test_cleanup(self, fs, bench):
+        bench.write(8 * MB, parallelism=2)
+        bench.cleanup()
+        assert not fs.master.namespace.exists("/benchmarks/DFSIO")
+
+    def test_throughput_series(self, bench):
+        result = bench.write(64 * MB, parallelism=4)
+        series = result.throughput_series(window=0.5)
+        assert all(rate >= 0 for _t, rate in series)

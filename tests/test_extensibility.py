@@ -1,0 +1,160 @@
+"""Extensibility: new tiers, custom objectives, custom policies.
+
+The paper claims (§2.2) that new storage media "like NVRAM and PCM can
+be readily added as new storage tiers, even on an existing OctopusFS
+instance"; these tests exercise the extension points end to end.
+"""
+
+import pytest
+
+from repro import OctopusFileSystem, ReplicationVector
+from repro.cluster.spec import (
+    ClusterSpec,
+    MediumSpec,
+    NodeSpec,
+    TierSpec,
+    PAPER_NIC_BANDWIDTH,
+)
+from repro.core import objectives as obj
+from repro.core.moop import PlacementRequest, place_replicas
+from repro.core.placement import BlockPlacementPolicy
+from repro.core.retrieval import DataRetrievalPolicy
+from repro.util.units import GB, MB
+
+
+def nvram_cluster_spec() -> ClusterSpec:
+    """A cluster with a fourth, NVRAM tier between memory and SSD."""
+    tiers = (
+        TierSpec("MEMORY", rank=0, volatile=True),
+        TierSpec("NVRAM", rank=1),  # persistent, nearly memory-fast
+        TierSpec("SSD", rank=2),
+        TierSpec("HDD", rank=3),
+    )
+    media = (
+        MediumSpec.of("MEMORY", 128 * MB),
+        MediumSpec.of("NVRAM", 512 * MB, "1200MB/s", "2000MB/s"),
+        MediumSpec.of("SSD", 2 * GB),
+        MediumSpec.of("HDD", 8 * GB),
+    )
+    nodes = tuple(
+        NodeSpec(f"worker{i+1}", f"rack{i % 2}", PAPER_NIC_BANDWIDTH, media)
+        for i in range(4)
+    )
+    return ClusterSpec(
+        tiers=tiers,
+        nodes=nodes,
+        rack_uplink_bandwidth=PAPER_NIC_BANDWIDTH * 2,
+        block_size=4 * MB,
+    )
+
+
+class TestNvramTier:
+    @pytest.fixture
+    def fs(self):
+        return OctopusFileSystem(nvram_cluster_spec())
+
+    def test_tier_order_includes_nvram(self, fs):
+        assert fs.cluster.tier_order == ["MEMORY", "NVRAM", "SSD", "HDD"]
+
+    def test_vector_targets_nvram(self, fs):
+        client = fs.client(on="worker1")
+        client.write_file(
+            "/nv", size=4 * MB,
+            rep_vector=ReplicationVector({"NVRAM": 1, "HDD": 1}),
+        )
+        tiers = sorted(client.get_file_block_locations("/nv")[0].tiers)
+        assert tiers == ["HDD", "NVRAM"]
+
+    def test_vector_encoding_with_custom_order(self, fs):
+        order = tuple(fs.cluster.tier_order)
+        vector = ReplicationVector({"NVRAM": 2}, unspecified=1)
+        assert ReplicationVector.decode(vector.encode(order), order) == vector
+
+    def test_moop_uses_nvram_without_code_changes(self, fs):
+        """U replicas may land on the new tier; NVRAM is persistent, so
+        the volatile-memory rule does not exclude it."""
+        request = PlacementRequest(
+            rep_vector=ReplicationVector.of(u=3),
+            block_size=fs.cluster.block_size,
+            memory_enabled=False,
+        )
+        seen = set()
+        for _ in range(10):
+            chosen = place_replicas(fs.cluster, request)
+            seen.update(m.tier_name for m in chosen)
+            for medium in chosen:
+                medium.reserve(fs.cluster.block_size)
+        assert "NVRAM" in seen
+        assert "MEMORY" not in seen  # volatile stays opt-in
+
+    def test_retrieval_prefers_nvram_over_ssd(self, fs):
+        client = fs.client(on="worker1")
+        client.write_file(
+            "/mix", size=4 * MB,
+            rep_vector=ReplicationVector({"NVRAM": 1, "SSD": 1}),
+        )
+        # From an uninvolved node, the faster NVRAM replica sorts first.
+        reader = fs.client(on="worker4")
+        loc = reader.get_file_block_locations("/mix")[0]
+        if "worker4" not in loc.hosts:  # pure remote comparison
+            assert loc.tiers[0] == "NVRAM"
+
+    def test_tier_report_includes_nvram(self, fs):
+        names = [r.tier_name for r in fs.client().get_storage_tier_reports()]
+        assert names == ["MEMORY", "NVRAM", "SSD", "HDD"]
+
+
+class TestCustomObjective:
+    def test_registered_objective_usable_in_placement(self):
+        fs = OctopusFileSystem(nvram_cluster_spec())
+
+        def wear_leveling(media, ctx):
+            # Toy objective: avoid SSDs to spare their write cycles.
+            return sum(1.0 for m in media if m.tier_name != "SSD")
+
+        def ideal(count, ctx):
+            return float(count)
+
+        obj.register_objective("wear", wear_leveling, ideal)
+        request = PlacementRequest(
+            rep_vector=ReplicationVector.of(u=2),
+            block_size=fs.cluster.block_size,
+        )
+        chosen = place_replicas(fs.cluster, request, objectives=("wear",))
+        assert all(m.tier_name != "SSD" for m in chosen)
+
+
+class TestCustomPolicies:
+    def test_custom_placement_policy_plugs_in(self):
+        class HddOnlyPolicy(BlockPlacementPolicy):
+            name = "hdd-only"
+
+            def choose_targets(self, cluster, request):
+                media = [
+                    m
+                    for m in cluster.live_media()
+                    if m.tier_name == "HDD"
+                    and m.remaining >= request.block_size
+                ]
+                return media[: request.rep_vector.total_replicas]
+
+        fs = OctopusFileSystem(
+            nvram_cluster_spec(), placement_policy=HddOnlyPolicy()
+        )
+        client = fs.client(on="worker1")
+        client.write_file("/h", size=4 * MB, rep_vector=2)
+        assert set(client.get_file_block_locations("/h")[0].tiers) == {"HDD"}
+
+    def test_custom_retrieval_policy_plugs_in(self):
+        class ReversedPolicy(DataRetrievalPolicy):
+            name = "reversed"
+
+            def order_replicas(self, replicas, client_node, topology):
+                return list(reversed(replicas))
+
+        fs = OctopusFileSystem(
+            nvram_cluster_spec(), retrieval_policy=ReversedPolicy()
+        )
+        client = fs.client(on="worker1")
+        client.write_file("/r", data=b"z" * MB, rep_vector=2)
+        assert client.read_file("/r") == b"z" * MB  # still functional

@@ -1,0 +1,151 @@
+"""Stateful property test: the namespace against a reference model.
+
+Hypothesis drives random sequences of namespace operations against both
+the real inode tree and a flat dict model; after every step the two
+must agree on existence, kind, and listings. This is the kind of test
+that catches subtle rename/delete bookkeeping bugs that example-based
+tests miss.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.replication_vector import ReplicationVector
+from repro.errors import FileSystemError, OctopusError
+from repro.fs.namespace import Namespace
+from repro.util.units import MB
+
+NAMES = ("a", "b", "c", "dir1", "dir2", "file1", "file2")
+RV = ReplicationVector.of(u=1)
+
+name_st = st.sampled_from(NAMES)
+# Paths of depth 1-3 over a small alphabet, so collisions are common.
+path_st = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(name_st, min_size=1, max_size=3),
+)
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ns = Namespace()
+        # Model: path -> "dir" | "file"; root implicit.
+        self.model: dict[str, str] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _model_mkdir(self, path: str) -> None:
+        parts = path.strip("/").split("/")
+        for depth in range(1, len(parts) + 1):
+            prefix = "/" + "/".join(parts[:depth])
+            self.model.setdefault(prefix, "dir")
+
+    def _model_ancestors_ok(self, path: str) -> bool:
+        """True if every strict ancestor is a dir (or missing)."""
+        parts = path.strip("/").split("/")
+        for depth in range(1, len(parts)):
+            prefix = "/" + "/".join(parts[:depth])
+            if self.model.get(prefix) == "file":
+                return False
+        return True
+
+    def _model_subtree(self, path: str) -> list[str]:
+        return [
+            p for p in self.model if p == path or p.startswith(path + "/")
+        ]
+
+    # -- rules ---------------------------------------------------------
+    @rule(path=path_st)
+    def mkdir(self, path):
+        try:
+            self.ns.mkdir(path)
+            real_ok = True
+        except OctopusError:
+            real_ok = False
+        model_ok = self._model_ancestors_ok(path) and self.model.get(path) != "file"
+        assert real_ok == model_ok, f"mkdir {path}"
+        if model_ok:
+            self._model_mkdir(path)
+
+    @rule(path=path_st)
+    def create_file(self, path):
+        try:
+            self.ns.create_file(path, RV, MB)
+            self.ns.complete_file(path)
+            real_ok = True
+        except OctopusError:
+            real_ok = False
+        model_ok = (
+            self._model_ancestors_ok(path) and path not in self.model
+        )
+        assert real_ok == model_ok, f"create {path}"
+        if model_ok:
+            parent = path.rsplit("/", 1)[0]
+            if parent:
+                self._model_mkdir(parent)
+            self.model[path] = "file"
+
+    @rule(src=path_st, dst=path_st)
+    def rename(self, src, dst):
+        try:
+            self.ns.rename(src, dst)
+            real_ok = True
+        except OctopusError:
+            real_ok = False
+        dst_parent = dst.rsplit("/", 1)[0]
+        model_ok = (
+            src in self.model
+            and dst not in self.model
+            and not (dst == src or dst.startswith(src + "/"))
+            and (dst_parent == "" or self.model.get(dst_parent) == "dir")
+            and self._model_ancestors_ok(dst)
+        )
+        assert real_ok == model_ok, f"rename {src} -> {dst}"
+        if model_ok:
+            for old in self._model_subtree(src):
+                kind = self.model.pop(old)
+                self.model[dst + old[len(src):]] = kind
+
+    @rule(path=path_st)
+    def delete(self, path):
+        try:
+            self.ns.delete(path, recursive=True)
+            real_ok = True
+        except OctopusError:
+            real_ok = False
+        model_ok = path in self.model
+        assert real_ok == model_ok, f"delete {path}"
+        if model_ok:
+            for victim in self._model_subtree(path):
+                del self.model[victim]
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def existence_agrees(self):
+        for path in self.model:
+            assert self.ns.exists(path), f"model has {path}, namespace lost it"
+            is_dir = self.model[path] == "dir"
+            assert self.ns.is_directory(path) == is_dir, path
+
+    @invariant()
+    def inode_count_agrees(self):
+        assert self.ns.total_inodes == len(self.model) + 1  # + root
+
+    @invariant()
+    def listings_agree(self):
+        dirs = [p for p, kind in self.model.items() if kind == "dir"]
+        for path in dirs[:5]:  # bounded for speed
+            listed = {s.path for s in self.ns.list_status(path)}
+            expected = {
+                p
+                for p in self.model
+                if p.startswith(path + "/") and "/" not in p[len(path) + 1 :]
+            }
+            assert listed == expected, path
+
+
+TestNamespaceStateful = NamespaceMachine.TestCase

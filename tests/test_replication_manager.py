@@ -1,0 +1,216 @@
+"""Tests for replication management: §5 (repair, trims, vector changes)."""
+
+import pytest
+
+from repro import OctopusFileSystem, ReplicationVector
+from repro.cluster import small_cluster_spec
+from repro.core.replication import analyze_block
+from repro.util.units import MB
+
+
+@pytest.fixture
+def fs():
+    return OctopusFileSystem(small_cluster_spec())
+
+
+@pytest.fixture
+def client(fs):
+    return fs.client(on="worker1")
+
+
+def tiers_of(fs, path):
+    locs = fs.client().get_file_block_locations(path)
+    return [sorted(loc.tiers) for loc in locs]
+
+
+class TestAnalyzeBlock:
+    """Pure analysis of vector-vs-replicas (no cluster needed)."""
+
+    class FakeReplica:
+        def __init__(self, tier):
+            self.tier_name = tier
+
+    def replicas(self, *tiers):
+        return [self.FakeReplica(t) for t in tiers]
+
+    def test_balanced(self):
+        actions = analyze_block(
+            ReplicationVector.of(memory=1, hdd=2),
+            self.replicas("MEMORY", "HDD", "HDD"),
+        )
+        assert actions.balanced
+
+    def test_explicit_deficit(self):
+        actions = analyze_block(
+            ReplicationVector.of(ssd=2), self.replicas("SSD")
+        )
+        assert actions.additions == ["SSD"]
+        assert actions.removals == 0
+
+    def test_u_deficit(self):
+        actions = analyze_block(ReplicationVector.of(u=3), self.replicas("HDD"))
+        assert actions.additions == [None, None]
+
+    def test_surplus_fills_u_budget_first(self):
+        # Vector <0,0,1,U=1>, replicas HDD+SSD: the SSD surplus covers U.
+        actions = analyze_block(
+            ReplicationVector.of(hdd=1, u=1), self.replicas("HDD", "SSD")
+        )
+        assert actions.balanced
+
+    def test_pure_over_replication(self):
+        actions = analyze_block(
+            ReplicationVector.of(hdd=2), self.replicas("HDD", "HDD", "HDD")
+        )
+        assert actions.removals == 1
+        assert actions.removable_tiers == {"HDD": 1}
+
+    def test_move_appears_as_add_then_remove(self):
+        # Vector changed <1,0,2> -> <1,1,1> with replicas M,H,H.
+        actions = analyze_block(
+            ReplicationVector.of(memory=1, ssd=1, hdd=1),
+            self.replicas("MEMORY", "HDD", "HDD"),
+        )
+        assert actions.additions == ["SSD"]
+        # The HDD surplus is also reported; the Master defers the removal
+        # until the addition lands (copy-then-delete move semantics).
+        assert actions.removals == 1
+        assert actions.removable_tiers == {"HDD": 1}
+
+
+class TestVectorChanges:
+    def test_copy_to_tier_adds_replica(self, fs, client):
+        client.write_file("/f", size=4 * MB, rep_vector=ReplicationVector.of(hdd=2))
+        client.set_replication("/f", ReplicationVector.of(ssd=1, hdd=2))
+        fs.await_replication()
+        assert tiers_of(fs, "/f") == [["HDD", "HDD", "SSD"]]
+
+    def test_move_to_tier_copies_then_deletes(self, fs, client):
+        client.write_file(
+            "/m", size=4 * MB, rep_vector=ReplicationVector.of(memory=1, hdd=2)
+        )
+        client.set_replication("/m", ReplicationVector.of(memory=1, ssd=1, hdd=1))
+        fs.await_replication()
+        assert tiers_of(fs, "/m") == [["HDD", "MEMORY", "SSD"]]
+
+    def test_shrink_within_tier(self, fs, client):
+        client.write_file("/s", size=4 * MB, rep_vector=ReplicationVector.of(hdd=3))
+        client.set_replication("/s", ReplicationVector.of(hdd=1))
+        fs.await_replication()
+        assert tiers_of(fs, "/s") == [["HDD"]]
+
+    def test_grow_within_tier(self, fs, client):
+        client.write_file("/g", size=4 * MB, rep_vector=ReplicationVector.of(hdd=1))
+        client.set_replication("/g", ReplicationVector.of(hdd=3))
+        fs.await_replication()
+        assert tiers_of(fs, "/g") == [["HDD", "HDD", "HDD"]]
+
+    def test_delete_memory_replica(self, fs, client):
+        client.write_file(
+            "/dm", size=4 * MB, rep_vector=ReplicationVector.of(memory=1, hdd=2)
+        )
+        client.set_replication("/dm", ReplicationVector.of(hdd=2))
+        fs.await_replication()
+        assert tiers_of(fs, "/dm") == [["HDD", "HDD"]]
+
+    def test_multi_block_file_converges(self, fs, client):
+        client.write_file("/mb", size=12 * MB, rep_vector=ReplicationVector.of(hdd=2))
+        client.set_replication("/mb", ReplicationVector.of(ssd=1, hdd=1))
+        fs.await_replication()
+        assert tiers_of(fs, "/mb") == [["HDD", "SSD"]] * 3
+
+    def test_set_replication_is_asynchronous(self, fs, client):
+        client.write_file("/as", size=4 * MB, rep_vector=ReplicationVector.of(hdd=1))
+        delta = client.set_replication("/as", ReplicationVector.of(hdd=3))
+        assert delta == {"HDD": 2}
+        # Not converged yet: no replication pass has run.
+        assert fs.master.pending_replication > 0
+
+    def test_space_accounting_preserved_after_move(self, fs, client):
+        client.write_file("/acc", size=4 * MB, rep_vector=ReplicationVector.of(hdd=3))
+        client.set_replication("/acc", ReplicationVector.of(ssd=3))
+        fs.await_replication()
+        hdd_used = sum(
+            m.used for m in fs.cluster.live_media() if m.tier_name == "HDD"
+        )
+        ssd_used = sum(
+            m.used for m in fs.cluster.live_media() if m.tier_name == "SSD"
+        )
+        assert hdd_used == 0
+        assert ssd_used == 3 * 4 * MB
+
+
+class TestFailureRecovery:
+    def test_worker_death_triggers_rereplication(self, fs, client):
+        client.write_file("/hot", size=4 * MB, rep_vector=3)
+        victim = fs.client().get_file_block_locations("/hot")[0].hosts[0]
+        fs.fail_worker(victim)
+        fs.await_replication()
+        locs = fs.client().get_file_block_locations("/hot")
+        assert len(locs[0].hosts) == 3
+        assert victim not in locs[0].hosts
+
+    def test_corrupt_replica_repaired(self, fs, client):
+        client.write_file("/cr", data=b"k" * MB, rep_vector=3)
+        loc = client.get_file_block_locations("/cr")[0]
+        fs.workers[loc.hosts[0]].corrupt_replica(loc.block_id, loc.media[0])
+        assert client.read_file("/cr") == b"k" * MB  # discovery via read
+        fs.await_replication()
+        new_loc = fs.client().get_file_block_locations("/cr")[0]
+        assert len(new_loc.hosts) == 3
+        assert loc.media[0] not in new_loc.media
+
+    def test_memory_replicas_lost_on_restart(self, fs, client):
+        client.write_file(
+            "/vol", size=4 * MB, rep_vector=ReplicationVector.of(memory=1, hdd=2)
+        )
+        host = next(
+            h
+            for h, t in zip(
+                *[
+                    client.get_file_block_locations("/vol")[0].hosts,
+                    client.get_file_block_locations("/vol")[0].tiers,
+                ][0:2]
+            )
+            if t == "MEMORY"
+        )
+        fs.fail_worker(host)
+        fs.recover_worker(host)
+        fs.await_replication()
+        locs = fs.client().get_file_block_locations("/vol")
+        assert sorted(locs[0].tiers) == ["HDD", "HDD", "MEMORY"]
+
+    def test_data_survives_single_failure(self, fs, client):
+        payload = b"d" * (2 * MB)
+        client.write_file("/safe", data=payload, rep_vector=3)
+        victim = client.get_file_block_locations("/safe")[0].hosts[0]
+        fs.fail_worker(victim)
+        assert fs.client(on="worker2" if victim != "worker2" else "worker3").read_file("/safe") == payload
+
+    def test_under_replication_with_no_source_is_deferred(self, fs, client):
+        client.write_file("/lost", size=4 * MB, rep_vector=ReplicationVector.of(memory=1))
+        host = client.get_file_block_locations("/lost")[0].hosts[0]
+        fs.fail_worker(host)
+        # Sole replica gone: the manager must not crash, just defer.
+        procs = fs.master.check_replication()
+        assert procs == []
+
+
+class TestServices:
+    def test_background_services_converge_failures(self, fs, client):
+        client.write_file("/auto", size=4 * MB, rep_vector=3)
+        fs.start_services(heartbeat_interval=1.0, replication_interval=2.0)
+        victim = client.get_file_block_locations("/auto")[0].hosts[0]
+        fs.fail_worker(victim)
+        fs.engine.run(until=fs.engine.now + 60.0)
+        fs.stop_services()
+        locs = fs.client().get_file_block_locations("/auto")
+        assert len(locs[0].hosts) == 3
+        assert victim not in locs[0].hosts
+
+    def test_heartbeats_update_master_records(self, fs):
+        fs.start_services(heartbeat_interval=1.0)
+        fs.engine.run(until=5.0)
+        fs.stop_services()
+        for record in fs.master.workers.values():
+            assert record.last_heartbeat >= 4.0

@@ -1,0 +1,159 @@
+"""Unit tests for the data retrieval policies (paper §4.2)."""
+
+import pytest
+
+from repro.cluster import Cluster, paper_cluster_spec
+from repro.core.retrieval import (
+    HdfsLocalityRetrievalPolicy,
+    OctopusRetrievalPolicy,
+    estimate_transfer_rate,
+)
+from repro.util.rng import DeterministicRng
+from repro.util.units import MB
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(paper_cluster_spec())
+
+
+def medium(cluster, node, tier, index=0):
+    return cluster.node(node).medium_for_tier(tier)[index]
+
+
+def load(medium_or_node, connections, channel="read"):
+    """Attach fake active connections to a medium or a node NIC."""
+    stubs = [object() for _ in range(connections)]
+    if hasattr(medium_or_node, "read_channel"):
+        target = (
+            medium_or_node.read_channel
+            if channel == "read"
+            else medium_or_node.write_channel
+        )
+    else:
+        target = medium_or_node.nic_out if channel == "out" else medium_or_node.nic_in
+    for stub in stubs:
+        target.flows.add(stub)
+    return stubs
+
+
+class TestEstimateTransferRate:
+    def test_local_read_skips_network(self, cluster):
+        m = medium(cluster, "worker1", "HDD")
+        rate = estimate_transfer_rate(m, cluster.node("worker1"))
+        assert rate == pytest.approx(177.1 * MB)
+
+    def test_remote_read_caps_at_network(self, cluster):
+        m = medium(cluster, "worker1", "MEMORY")
+        rate = estimate_transfer_rate(m, cluster.node("worker2"))
+        # Memory reads 3224.8 MB/s but the 10GbE NIC caps at 1250 MB/s.
+        assert rate == pytest.approx(1250 * MB)
+
+    def test_media_connections_divide_rate(self, cluster):
+        m = medium(cluster, "worker1", "HDD")
+        load(m, 1)
+        rate = estimate_transfer_rate(m, cluster.node("worker1"))
+        assert rate == pytest.approx(177.1 * MB / 2)
+
+    def test_network_connections_divide_rate(self, cluster):
+        """The paper's example: 10 connections turn 10Gbps into ~1Gbps."""
+        m = medium(cluster, "worker1", "MEMORY")
+        load(m.node, 9, channel="out")
+        rate = estimate_transfer_rate(m, cluster.node("worker2"))
+        assert rate == pytest.approx(1250 * MB / 10)
+
+
+class TestOctopusRetrievalPolicy:
+    def test_remote_memory_beats_local_hdd(self, cluster):
+        """The §4.2 worked example: with a fast network, a nearby
+        in-memory replica wins over a local HDD replica."""
+        local_hdd = medium(cluster, "worker1", "HDD")
+        remote_mem = medium(cluster, "worker2", "MEMORY")
+        policy = OctopusRetrievalPolicy(DeterministicRng(0))
+        ordered = policy.order_replicas(
+            [local_hdd, remote_mem], cluster.node("worker1"), cluster.topology
+        )
+        assert ordered[0] is remote_mem
+
+    def test_congested_network_flips_to_local(self, cluster):
+        """...but once the remote node is saturated, local wins (§4.2)."""
+        local_hdd = medium(cluster, "worker1", "HDD")
+        remote_mem = medium(cluster, "worker2", "MEMORY")
+        load(remote_mem.node, 20, channel="out")
+        policy = OctopusRetrievalPolicy(DeterministicRng(0))
+        ordered = policy.order_replicas(
+            [local_hdd, remote_mem], cluster.node("worker1"), cluster.topology
+        )
+        assert ordered[0] is local_hdd
+
+    def test_faster_tier_first_all_remote(self, cluster):
+        replicas = [
+            medium(cluster, "worker2", "HDD"),
+            medium(cluster, "worker3", "SSD"),
+            medium(cluster, "worker4", "MEMORY"),
+        ]
+        policy = OctopusRetrievalPolicy(DeterministicRng(0))
+        ordered = policy.order_replicas(
+            replicas, cluster.node("worker1"), cluster.topology
+        )
+        # Memory and SSD both cap at the NIC (1250); the tie-break on raw
+        # media throughput puts memory first; HDD (177) is last.
+        assert [m.tier_name for m in ordered] == ["MEMORY", "SSD", "HDD"]
+
+    def test_full_ties_shuffled_for_load_spread(self, cluster):
+        replicas = [
+            medium(cluster, "worker2", "HDD"),
+            medium(cluster, "worker3", "HDD"),
+            medium(cluster, "worker4", "HDD"),
+        ]
+        firsts = set()
+        for seed in range(10):
+            policy = OctopusRetrievalPolicy(DeterministicRng(seed))
+            ordered = policy.order_replicas(
+                replicas, cluster.node("worker1"), cluster.topology
+            )
+            firsts.add(ordered[0].medium_id)
+        assert len(firsts) > 1  # not always the same head
+
+    def test_permutation_invariant(self, cluster):
+        replicas = [
+            medium(cluster, "worker2", "HDD"),
+            medium(cluster, "worker3", "SSD"),
+        ]
+        policy = OctopusRetrievalPolicy(DeterministicRng(1))
+        ordered = policy.order_replicas(replicas, None, cluster.topology)
+        assert sorted(m.medium_id for m in ordered) == sorted(
+            m.medium_id for m in replicas
+        )
+
+
+class TestHdfsRetrievalPolicy:
+    def test_locality_order(self, cluster):
+        local = medium(cluster, "worker1", "HDD")
+        same_rack = medium(cluster, "worker3", "HDD")  # rack0
+        off_rack = medium(cluster, "worker2", "HDD")  # rack1
+        policy = HdfsLocalityRetrievalPolicy(DeterministicRng(0))
+        ordered = policy.order_replicas(
+            [off_rack, same_rack, local], cluster.node("worker1"), cluster.topology
+        )
+        assert [m.node.name for m in ordered] == ["worker1", "worker3", "worker2"]
+
+    def test_blind_to_tiers(self, cluster):
+        """The HDFS policy prefers a local HDD over remote memory — the
+        gap Figure 5 quantifies."""
+        local_hdd = medium(cluster, "worker1", "HDD")
+        remote_mem = medium(cluster, "worker2", "MEMORY")
+        policy = HdfsLocalityRetrievalPolicy(DeterministicRng(0))
+        ordered = policy.order_replicas(
+            [remote_mem, local_hdd], cluster.node("worker1"), cluster.topology
+        )
+        assert ordered[0] is local_hdd
+
+    def test_off_cluster_client_all_equal(self, cluster):
+        replicas = [
+            medium(cluster, "worker1", "HDD"),
+            medium(cluster, "worker2", "HDD"),
+        ]
+        policy = HdfsLocalityRetrievalPolicy(DeterministicRng(0))
+        ordered = policy.order_replicas(replicas, None, cluster.topology)
+        assert len(ordered) == 2

@@ -1,0 +1,209 @@
+"""Unit tests for the discrete-event engine and its events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimulationEngine
+
+
+def test_clock_starts_at_zero():
+    assert SimulationEngine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        yield engine.timeout(2.5)
+        return engine.now
+
+    assert engine.run_process(proc(engine)) == 2.5
+
+
+def test_nested_timeouts_accumulate():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        yield engine.timeout(1.0)
+        yield engine.timeout(2.0)
+        return engine.now
+
+    assert engine.run_process(proc(engine)) == 3.0
+
+
+def test_timeout_value_passthrough():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        got = yield engine.timeout(1.0, value="payload")
+        return got
+
+    assert engine.run_process(proc(engine)) == "payload"
+
+
+def test_negative_timeout_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_processes_interleave_deterministically():
+    engine = SimulationEngine()
+    order = []
+
+    def worker(engine, name, delay):
+        yield engine.timeout(delay)
+        order.append(name)
+
+    engine.process(worker(engine, "slow", 2.0))
+    engine.process(worker(engine, "fast", 1.0))
+    engine.run()
+    assert order == ["fast", "slow"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    engine = SimulationEngine()
+    order = []
+
+    def worker(engine, name):
+        yield engine.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        engine.process(worker(engine, name))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_waits_on_process():
+    engine = SimulationEngine()
+
+    def child(engine):
+        yield engine.timeout(4.0)
+        return 42
+
+    def parent(engine):
+        result = yield engine.process(child(engine))
+        return result, engine.now
+
+    assert engine.run_process(parent(engine)) == (42, 4.0)
+
+
+def test_process_exception_propagates_to_waiter():
+    engine = SimulationEngine()
+
+    def child(engine):
+        yield engine.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(engine):
+        try:
+            yield engine.process(child(engine))
+        except ValueError as exc:
+            return str(exc)
+        return "no error"
+
+    assert engine.run_process(parent(engine)) == "boom"
+
+
+def test_uncaught_process_exception_raised_by_run():
+    engine = SimulationEngine()
+
+    def child(engine):
+        yield engine.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    proc = engine.process(child(engine))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        engine.run(proc)
+
+
+def test_manual_event_succeed():
+    engine = SimulationEngine()
+    gate = engine.event()
+
+    def opener(engine, gate):
+        yield engine.timeout(3.0)
+        gate.succeed("opened")
+
+    def waiter(gate):
+        value = yield gate
+        return value
+
+    engine.process(opener(engine, gate))
+    result = engine.run(engine.process(waiter(gate)))
+    assert result == "opened"
+    assert engine.now == 3.0
+
+
+def test_event_cannot_trigger_twice():
+    engine = SimulationEngine()
+    gate = engine.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_all_of_waits_for_every_event():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        values = yield engine.all_of(
+            [engine.timeout(1.0, "a"), engine.timeout(5.0, "b")]
+        )
+        return values, engine.now
+
+    values, when = engine.run_process(proc(engine))
+    assert values == ["a", "b"]
+    assert when == 5.0
+
+
+def test_any_of_returns_first():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        value = yield engine.any_of(
+            [engine.timeout(9.0, "slow"), engine.timeout(2.0, "fast")]
+        )
+        return value, engine.now
+
+    assert engine.run_process(proc(engine)) == ("fast", 2.0)
+
+
+def test_all_of_empty_succeeds_immediately():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        values = yield engine.all_of([])
+        return values, engine.now
+
+    assert engine.run_process(proc(engine)) == ([], 0.0)
+
+
+def test_run_until_time_stops_clock():
+    engine = SimulationEngine()
+
+    def proc(engine):
+        yield engine.timeout(100.0)
+
+    engine.process(proc(engine))
+    engine.run(until=10.0)
+    assert engine.now == 10.0
+
+
+def test_run_until_untriggered_event_deadlocks():
+    engine = SimulationEngine()
+    gate = engine.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run(gate)
+
+
+def test_yielding_non_event_fails_process():
+    engine = SimulationEngine()
+
+    def bad(engine):
+        yield 123
+
+    proc = engine.process(bad(engine))
+    with pytest.raises(SimulationError, match="must yield Event"):
+        engine.run(proc)
