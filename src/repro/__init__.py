@@ -36,7 +36,13 @@ from repro.core import (
     make_policy,
 )
 from repro.fs import Client, Master, OctopusFileSystem, UserContext, Worker
-from repro.sim import SimulationEngine
+from repro.sim import (
+    ChaosProcess,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    SimulationEngine,
+)
 
 __version__ = "1.0.0"
 
@@ -58,5 +64,9 @@ __all__ = [
     "UserContext",
     "OctopusFileSystem",
     "SimulationEngine",
+    "ChaosProcess",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "__version__",
 ]

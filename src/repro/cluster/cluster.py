@@ -92,12 +92,12 @@ class Cluster:
         return self.tiers[name]
 
     def live_media(self) -> list[StorageMedium]:
-        """Every readable medium on a live node, in deterministic order."""
+        """Every readable medium on a live, reachable node."""
         return [
             medium
             for node in self.nodes
             for medium in node.media
-            if not medium.failed and not node.failed
+            if not medium.failed and not node.failed and not node.unreachable
         ]
 
     def placeable_media(self) -> list[StorageMedium]:
@@ -119,11 +119,41 @@ class Cluster:
     def fail_node(self, name: str) -> Node:
         node = self.node(name)
         node.failed = True
+        node.unreachable = False  # death supersedes mere silence
         return node
 
     def recover_node(self, name: str) -> Node:
         node = self.node(name)
         node.failed = False
+        node.unreachable = False
+        return node
+
+    def silence_node(self, name: str) -> Node:
+        """Partition a node off the network without killing its process."""
+        node = self.node(name)
+        node.unreachable = True
+        return node
+
+    def unsilence_node(self, name: str) -> Node:
+        node = self.node(name)
+        node.unreachable = False
+        return node
+
+    def degrade_medium(self, medium_id: str, factor: float) -> StorageMedium:
+        """Throttle one device to ``factor`` of its baseline throughput,
+        re-sharing bandwidth with any in-flight transfers."""
+        if medium_id not in self.media:
+            raise ConfigurationError(f"unknown medium: {medium_id}")
+        medium = self.media[medium_id]
+        medium.degrade(factor)
+        self.flows.refresh()
+        return medium
+
+    def cap_node_rate(self, name: str, factor: float) -> Node:
+        """Cap a node's NIC to ``factor`` of baseline (slow-node fault)."""
+        node = self.node(name)
+        node.set_nic_factor(factor)
+        self.flows.refresh()
         return node
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -51,9 +51,38 @@ class StorageMedium:
         self.reserved = 0
         self.write_throughput = float(write_throughput)
         self.read_throughput = float(read_throughput)
+        self._base_write_throughput = float(write_throughput)
+        self._base_read_throughput = float(read_throughput)
+        #: Throughput multiplier in (0, 1]; < 1 models a degraded device
+        #: (failing sectors, thermal throttling, a worn SSD).
+        self.degrade_factor = 1.0
         self.write_channel = Resource(f"{medium_id}/w", write_throughput)
         self.read_channel = Resource(f"{medium_id}/r", read_throughput)
         self.failed = False
+
+    # ------------------------------------------------------------------
+    # Degradation (fault injection)
+    # ------------------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Scale both channels to ``factor`` of baseline throughput.
+
+        ``factor=1.0`` restores full speed. The caller owns re-sharing
+        in-flight flows (:meth:`repro.sim.flows.FlowScheduler.refresh`).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"medium {self.medium_id}: degrade factor must be in "
+                f"(0, 1], got {factor}"
+            )
+        self.degrade_factor = factor
+        self.write_throughput = self._base_write_throughput * factor
+        self.read_throughput = self._base_read_throughput * factor
+        self.write_channel.capacity = self.write_throughput
+        self.read_channel.capacity = self.read_throughput
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`."""
+        self.degrade(1.0)
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -154,7 +183,11 @@ class StorageTier:
 
     @property
     def live_media(self) -> list[StorageMedium]:
-        return [m for m in self.media if not m.failed and not m.node.failed]
+        return [
+            m
+            for m in self.media
+            if not m.failed and not m.node.failed and not m.node.unreachable
+        ]
 
     def avg_write_throughput(self) -> float:
         """Per-tier average used by the throughput objective (Eq. 7)."""

@@ -67,11 +67,34 @@ class Node:
             f"node:{name}/in", nic_bandwidth, congestion_overhead
         )
         self.nic_bandwidth = float(nic_bandwidth)
+        self._base_nic_bandwidth = float(nic_bandwidth)
         self.media: list["StorageMedium"] = []
         self.failed = False
+        #: Network-silent: the process is alive and its data intact, but
+        #: nothing reaches it (heartbeats included). Distinct from
+        #: ``failed``, where the process is gone and volatile replicas
+        #: with it.
+        self.unreachable = False
+        #: NIC rate-cap factor in (0, 1]; < 1 models a slow node.
+        self.nic_factor = 1.0
         #: Decommissioning nodes still serve reads but accept no new
         #: replicas; the master drains them before retirement.
         self.decommissioning = False
+
+    def set_nic_factor(self, factor: float) -> None:
+        """Cap (or restore) NIC bandwidth to ``factor`` of the baseline.
+
+        The caller owns re-sharing in-flight flows: follow up with
+        :meth:`repro.sim.flows.FlowScheduler.refresh`.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"node {self.name}: nic factor must be in (0, 1], got {factor}"
+            )
+        self.nic_factor = factor
+        self.nic_bandwidth = self._base_nic_bandwidth * factor
+        self.nic_out.capacity = self.nic_bandwidth
+        self.nic_in.capacity = self.nic_bandwidth
 
     @property
     def nr_connections(self) -> int:
@@ -80,7 +103,7 @@ class Node:
 
     @property
     def live_media(self) -> list["StorageMedium"]:
-        if self.failed:
+        if self.failed or self.unreachable:
             return []
         return [m for m in self.media if not m.failed]
 

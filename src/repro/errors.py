@@ -88,3 +88,7 @@ class WorkerError(OctopusError):
 
 class RemoteStorageError(OctopusError):
     """The remote (network-attached / cloud) store failed or is absent."""
+
+
+class FaultInjectionError(OctopusError):
+    """A fault-injection schedule or event was invalid."""

@@ -136,7 +136,7 @@ class Balancer:
     def _movable_replicas(self, medium: "StorageMedium") -> list[Replica]:
         """Finalized, healthy replicas on this medium, largest first."""
         record = self.system.master.workers.get(medium.node.name)
-        if record is None or record.dead:
+        if record is None or not record.reachable:
             return []
         replicas = [
             replica

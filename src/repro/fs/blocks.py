@@ -77,11 +77,24 @@ class Replica:
 
     @property
     def live(self) -> bool:
+        """Usable for reads and as a copy source *right now*."""
         return (
             self.state == FINALIZED
             and not self.corrupt
             and not self.medium.failed
             and not self.medium.node.failed
+            and not self.medium.node.unreachable
+        )
+
+    @property
+    def lost(self) -> bool:
+        """Master-visible permanent loss. A replica on a merely
+        unreachable (network-silent) node is *not* lost: the data is
+        intact and counts again once the node re-heartbeats."""
+        return (
+            self.corrupt
+            or self.medium.failed
+            or self.medium.node.failed
         )
 
     def finalize(self) -> None:

@@ -1,0 +1,158 @@
+"""Whole-system consistency checks shared by tests and chaos harnesses.
+
+The invariants a converged OctopusFS deployment must satisfy, factored
+out of the test suite so scripted fault scenarios, chaos runs, and the
+Hypothesis property tests all assert the same things:
+
+* **accounting** — per-medium ``used``/``reserved`` sanity, and the
+  cluster-wide used-byte total matching the block map;
+* **uniqueness** — no medium holds two replicas of one block;
+* **replication** — after convergence, every complete file's block set
+  satisfies its replication vector exactly
+  (:func:`repro.core.replication.analyze_block` reports ``balanced``);
+* **readability** — every complete file is fully readable.
+
+:func:`block_map_fingerprint` renders the replica layout in a
+block-id-agnostic form (block ids are process-global counters), which is
+what lets two independent runs of the same seeded fault scenario be
+compared for bit-for-bit equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.replication import analyze_block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.system import OctopusFileSystem
+
+
+def accounting_violations(fs: "OctopusFileSystem") -> list[str]:
+    """Capacity accounting and replica-uniqueness violations."""
+    violations: list[str] = []
+    # Unreachable (silent) nodes keep their data and stay in the block
+    # map, so they count; failed media/nodes hold only garbage bytes.
+    surviving = [
+        m
+        for m in fs.cluster.media.values()
+        if not m.failed and not m.node.failed
+    ]
+    for medium in surviving:
+        if not 0 <= medium.used <= medium.capacity:
+            violations.append(
+                f"{medium.medium_id}: used={medium.used} out of "
+                f"[0, {medium.capacity}]"
+            )
+        if medium.reserved != 0:
+            violations.append(
+                f"{medium.medium_id}: dangling reservation of "
+                f"{medium.reserved} bytes"
+            )
+    total_used = sum(m.used for m in surviving)
+    expected = sum(
+        meta.block.size * len(meta.replicas)
+        for meta in fs.master.block_map.values()
+    )
+    if total_used != expected:
+        violations.append(
+            f"cluster used bytes {total_used} != block map total {expected}"
+        )
+    for meta in fs.master.block_map.values():
+        media_ids = [r.medium.medium_id for r in meta.replicas]
+        if len(media_ids) != len(set(media_ids)):
+            violations.append(
+                f"block {meta.block.block_id}: duplicate replicas on "
+                f"{sorted(media_ids)}"
+            )
+    return violations
+
+
+def replication_violations(fs: "OctopusFileSystem") -> list[str]:
+    """Blocks whose live replicas do not balance their file's vector.
+
+    Only complete (not under-construction) files are checked; replicas
+    on decommissioning nodes do not count, mirroring the replication
+    manager's own view.
+    """
+    violations: list[str] = []
+    for inode in fs.master.namespace.iter_files():
+        if inode.under_construction:
+            continue
+        for block in inode.blocks:
+            meta = fs.master.block_map.get(block.block_id)
+            if meta is None:
+                violations.append(
+                    f"{inode.path()}: block {block.block_id} missing from "
+                    "the block map"
+                )
+                continue
+            live = [
+                r
+                for r in meta.live_replicas()
+                if not r.node.decommissioning
+            ]
+            actions = analyze_block(inode.rep_vector, live)
+            if not actions.balanced:
+                violations.append(
+                    f"{inode.path()}: block {block.block_id} vs vector "
+                    f"{inode.rep_vector.shorthand()} needs "
+                    f"+{actions.additions} -{actions.removals} "
+                    f"(live tiers: {sorted(r.tier_name for r in live)})"
+                )
+    return violations
+
+
+def readability_violations(
+    fs: "OctopusFileSystem", via: str | None = None
+) -> list[str]:
+    """Complete files that cannot be read end to end."""
+    violations: list[str] = []
+    reader = fs.client(on=via)
+    for inode in fs.master.namespace.iter_files():
+        if inode.under_construction:
+            continue
+        path = inode.path()
+        try:
+            got = reader.open(path).read_size()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            violations.append(f"{path}: read failed: {exc!r}")
+            continue
+        if got != inode.length:
+            violations.append(
+                f"{path}: read {got} bytes, expected {inode.length}"
+            )
+    return violations
+
+
+def check_system_invariants(
+    fs: "OctopusFileSystem",
+    require_balanced: bool = True,
+    check_readability: bool = True,
+    via: str | None = None,
+) -> None:
+    """Assert every invariant, raising with the full violation list."""
+    violations = accounting_violations(fs)
+    if require_balanced:
+        violations += replication_violations(fs)
+    if check_readability:
+        violations += readability_violations(fs, via=via)
+    assert not violations, "invariant violations:\n" + "\n".join(violations)
+
+
+def block_map_fingerprint(fs: "OctopusFileSystem") -> dict[str, list[list[str]]]:
+    """Replica layout keyed by path, independent of block ids.
+
+    Maps each complete file path to a per-block list of sorted medium
+    ids holding a live replica — equal fingerprints mean two runs ended
+    in the same physical layout.
+    """
+    layout: dict[str, list[list[str]]] = {}
+    for inode in fs.master.namespace.iter_files():
+        blocks: list[list[str]] = []
+        for block in inode.blocks:
+            meta = fs.master.block_map.get(block.block_id)
+            replicas = meta.live_replicas() if meta else []
+            blocks.append(sorted(r.medium.medium_id for r in replicas))
+        layout[inode.path()] = blocks
+    return layout

@@ -71,7 +71,19 @@ class WorkerRecord:
     worker: Worker
     last_heartbeat: float = 0.0
     last_report: HeartbeatReport | None = None
+    #: The worker's process is gone (node failure); volatile replicas
+    #: died with it and a recovery is a fresh re-registration.
     dead: bool = False
+    #: Heartbeats stopped but the node is not known to have crashed: the
+    #: worker is unreachable, its on-disk data presumed intact. Distinct
+    #: from ``dead`` so a re-heartbeat is a reconciliation, not a fresh
+    #: registration.
+    silent: bool = False
+
+    @property
+    def reachable(self) -> bool:
+        """Can the master route requests to this worker right now?"""
+        return not self.dead and not self.silent
 
 
 class Master:
@@ -114,7 +126,7 @@ class Master:
 
     def worker_for(self, node: "Node") -> Worker:
         record = self.workers.get(node.name)
-        if record is None or record.dead:
+        if record is None or not record.reachable:
             raise WorkerError(f"no live worker on node {node.name}")
         return record.worker
 
@@ -124,6 +136,17 @@ class Master:
             raise WorkerError(f"heartbeat from unregistered {report.node_name}")
         record.last_heartbeat = report.timestamp
         record.last_report = report
+        if record.silent or record.worker.node.unreachable:
+            # The worker was only unreachable — its replicas are intact
+            # and count again. Mark its blocks dirty so the replication
+            # manager reconciles (typically trimming the re-replication
+            # surplus the outage provoked). A partition shorter than the
+            # heartbeat expiry never sets ``silent``, but its replicas
+            # were hidden from liveness all the same — so the trigger is
+            # the node-level flag, not only the master's verdict.
+            record.silent = False
+            record.worker.node.unreachable = False
+            self._mark_node_blocks_dirty(record.worker)
         if record.dead and not record.worker.node.failed:
             record.dead = False  # worker re-joined
 
@@ -146,16 +169,33 @@ class Master:
         return dropped
 
     def check_worker_liveness(self) -> list[str]:
-        """Expire workers whose heartbeats stopped; returns their names."""
+        """Expire workers whose heartbeats stopped; returns their names.
+
+        Death and silence are distinct: a worker on a *failed* node is
+        declared dead (replicas lost, volatile data gone), while one that
+        merely stopped heartbeating is declared silent — unreachable, but
+        with its data presumed intact so a later re-heartbeat reconciles
+        instead of re-registering from scratch.
+        """
         now = self.cluster.engine.now
         expired = []
         for record in self.workers.values():
-            if record.dead:
+            node = record.worker.node
+            if node.failed:
+                if not record.dead:
+                    record.dead = True
+                    record.silent = False
+                    expired.append(record.worker.name)
+                    self._mark_node_blocks_dirty(record.worker)
                 continue
-            silent = now - record.last_heartbeat > self.heartbeat_expiry
-            if record.worker.node.failed or silent:
-                record.dead = True
-                record.worker.node.failed = True
+            if record.dead or record.silent:
+                continue
+            if now - record.last_heartbeat > self.heartbeat_expiry:
+                record.silent = True
+                # Reflect the master's verdict in the cluster view so
+                # placement and replica liveness stop counting the node;
+                # receive_heartbeat undoes this when contact resumes.
+                node.unreachable = True
                 expired.append(record.worker.name)
                 self._mark_node_blocks_dirty(record.worker)
         return expired
@@ -543,6 +583,10 @@ class Master:
             return []
         # Replicas on decommissioning nodes are readable but no longer
         # count toward the vector: they are being drained away.
+        # Lost replicas (dead media, corrupt copies) hold no usable data
+        # yet still occupy their medium; drop them up front so repair
+        # placement can reuse the slot.
+        self._prune_dead_replicas(meta)
         live = [
             r for r in meta.live_replicas() if not r.node.decommissioning
         ]
@@ -564,7 +608,6 @@ class Master:
             self.namespace.charge_tier_space(
                 meta.inode, replica.tier_name, -meta.block.size
             )
-        self._prune_dead_replicas(meta)
         removable = dict(actions.removable_tiers)
         for _ in range(actions.removals):
             replica = self._remove_one_replica(meta, removable)
@@ -574,11 +617,15 @@ class Master:
         return processes
 
     def _prune_dead_replicas(self, meta: BlockMeta) -> None:
-        """Forget replicas on dead nodes/media or flagged corrupt."""
+        """Forget *lost* replicas (dead nodes/media, flagged corrupt).
+
+        Replicas on merely unreachable (network-silent) nodes are kept:
+        the data is intact and counts again once the node re-heartbeats.
+        """
         for replica in list(meta.replicas):
             if replica.state != FINALIZED:
                 continue
-            if not replica.live:
+            if replica.lost:
                 meta.replicas.remove(replica)
                 self._delete_replica_from_worker(replica)
 

@@ -272,7 +272,7 @@ class FSDataInputStream:
         last_error: Exception | None = None
         for replica in replicas:
             worker_record = self._master.workers.get(replica.node.name)
-            if worker_record is None or worker_record.dead:
+            if worker_record is None or not worker_record.reachable:
                 continue
             try:
                 verified = worker_record.worker.read_replica(

@@ -28,8 +28,10 @@ from repro.fs.client import Client
 from repro.fs.master import Master
 from repro.fs.namespace import SUPERUSER, UserContext
 from repro.fs.worker import Worker
+from repro.sim.faults import FaultInjector, FaultSchedule
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.media import StorageMedium
     from repro.cluster.topology import Node
 
 DEFAULT_HEARTBEAT_INTERVAL = 3.0
@@ -45,6 +47,7 @@ class OctopusFileSystem:
         placement_policy: BlockPlacementPolicy | None = None,
         retrieval_policy: DataRetrievalPolicy | None = None,
         default_rep_vector: ReplicationVector | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         if isinstance(spec_or_cluster, Cluster):
             self.cluster = spec_or_cluster
@@ -69,6 +72,13 @@ class OctopusFileSystem:
         #: Called with the path on every Client.open (cache managers,
         #: §6-style schedulers, and monitoring hook in here).
         self.access_listeners: list = []
+        #: Deterministic fault injection (repro.sim.faults). Passing a
+        #: ``faults=FaultSchedule(...)`` argument arms the schedule as an
+        #: engine process; the injector is always available for direct
+        #: calls and chaos runs.
+        self.faults = FaultInjector(self)
+        if faults is not None:
+            self.faults.run_schedule(faults)
 
     def notify_access(self, path: str) -> None:
         for listener in self.access_listeners:
@@ -145,7 +155,9 @@ class OctopusFileSystem:
 
     def _heartbeat_loop(self, worker: Worker, interval: float) -> Generator:
         while self._services_running:
-            if worker.alive:
+            # A dead worker sends nothing; an unreachable one sends
+            # heartbeats that never arrive — same observable silence.
+            if worker.alive and not worker.node.unreachable:
                 self.master.receive_heartbeat(worker.heartbeat())
             yield self.engine.timeout(interval)
 
@@ -255,12 +267,89 @@ class OctopusFileSystem:
                 meta = self.master.block_map.get(replica.block.block_id)
                 if meta and replica in meta.replicas:
                     meta.replicas.remove(replica)
+                # The worker no longer reports this block, so the loop
+                # below would miss it — without this the loss goes
+                # unrepaired when the node was never declared dead.
+                self.master._dirty_blocks.add(replica.block.block_id)
         record = self.master.workers[name]
         record.dead = False
+        record.silent = False
         record.last_heartbeat = self.engine.now
         self.master.receive_block_report(worker)
         for replica in worker.block_report():
             self.master._dirty_blocks.add(replica.block.block_id)
+
+    def silence_worker(self, name: str, cut_flows: bool = True) -> None:
+        """Partition a worker off the network without killing it.
+
+        Heartbeats stop arriving and (with ``cut_flows``) in-flight
+        transfers crossing the node's NIC abort, but the process and its
+        replicas — volatile ones included — stay intact. The master
+        declares the worker *silent* (not dead) once the heartbeat
+        expiry elapses; see :meth:`Master.check_worker_liveness`.
+        """
+        if name not in self.workers:
+            raise WorkerError(f"unknown worker {name!r}")
+        node = self.cluster.silence_node(name)
+        if cut_flows:
+            failure = WorkerError(f"worker {name} is unreachable")
+            doomed = set(node.nic_in.flows) | set(node.nic_out.flows)
+            for flow in doomed:
+                self.cluster.flows.cancel_flow(flow, failure)
+
+    def unsilence_worker(self, name: str) -> None:
+        """Heal a network partition; the worker re-heartbeats at once.
+
+        Unlike :meth:`recover_worker`, nothing was lost — the master
+        reconciles the returning replicas (usually trimming the surplus
+        its outage-time re-replication created).
+        """
+        if name not in self.workers:
+            raise WorkerError(f"unknown worker {name!r}")
+        record = self.master.workers.get(name)
+        if record is not None and not record.dead:
+            # Deliver the heartbeat while the unreachable flag is still
+            # set: receive_heartbeat uses it to tell "returning from a
+            # partition" (reconcile the node's blocks) from a routine
+            # beat, then clears it.
+            self.master.receive_heartbeat(self.workers[name].heartbeat())
+        self.cluster.unsilence_node(name)
+
+    def degrade_medium(self, medium_id: str, factor: float) -> "StorageMedium":
+        """Throttle one device to ``factor`` of baseline throughput."""
+        if medium_id not in self.cluster.media:
+            raise WorkerError(f"unknown medium {medium_id!r}")
+        return self.cluster.degrade_medium(medium_id, factor)
+
+    def repair_medium(self, medium_id: str) -> None:
+        """Bring a failed (or degraded) device back at full speed.
+
+        Replicas the master already pruned are gone — the device returns
+        empty; any it still remembers are marked dirty so the
+        replication manager revalidates them.
+        """
+        medium = self.cluster.media.get(medium_id)
+        if medium is None:
+            raise WorkerError(f"unknown medium {medium_id!r}")
+        medium.failed = False
+        medium.degrade(1.0)
+        self.cluster.flows.refresh()
+        worker = self.workers.get(medium.node.name)
+        if worker is not None:
+            for replica in worker.block_report():
+                if replica.medium is medium:
+                    self.master._dirty_blocks.add(replica.block.block_id)
+
+    def slow_worker(self, name: str, factor: float) -> None:
+        """Cap a node's NIC to ``factor`` of baseline (slow-node fault)."""
+        if name not in self.workers:
+            raise WorkerError(f"unknown worker {name!r}")
+        self.cluster.cap_node_rate(name, factor)
+
+    def restore_worker_speed(self, name: str) -> None:
+        if name not in self.workers:
+            raise WorkerError(f"unknown worker {name!r}")
+        self.cluster.cap_node_rate(name, 1.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

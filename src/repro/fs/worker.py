@@ -170,10 +170,20 @@ class Worker:
     ) -> Generator:
         """Process: pull a replica from ``source`` onto a local medium.
 
-        The Master already reserved space on ``destination``. Yields
-        until the transfer flow completes; returns the new replica.
+        The Master already reserved space on ``destination``; this
+        process owns that reservation and releases it on any failure.
+        Yields until the transfer flow completes; returns the new
+        replica.
         """
-        replica = self.create_replica(block, destination, bound_tier, data=source.data)
+        try:
+            replica = self.create_replica(
+                block, destination, bound_tier, data=source.data
+            )
+        except Exception:
+            # e.g. a concurrent repair already created a copy here; the
+            # caller's reservation must not dangle.
+            destination.release_reservation(block.capacity)
+            raise
         resources = copy_resources(
             self.cluster.topology, source.medium, destination
         )

@@ -11,10 +11,20 @@ paper's physical 10-node cluster:
   data transfers share NIC/switch/media capacity under max–min fairness,
   which is what produces the concurrency effects the paper measures
   (SSD-vs-3×HDD crossover, network congestion decline, etc.).
+* :mod:`repro.sim.faults` — deterministic fault injection: declarative
+  :class:`FaultSchedule` scenarios, a seeded :class:`ChaosProcess`, and
+  the :class:`FaultInjector` facade, all running as engine processes.
 """
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.faults import (
+    ChaosProcess,
+    FaultEvent,
+    FaultInjector,
+    FaultRecord,
+    FaultSchedule,
+)
 from repro.sim.flows import Flow, FlowScheduler, Resource
 
 __all__ = [
@@ -26,4 +36,9 @@ __all__ = [
     "Flow",
     "FlowScheduler",
     "Resource",
+    "ChaosProcess",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSchedule",
 ]

@@ -170,6 +170,27 @@ class FlowScheduler:
         """Convenience: start a flow and return its completion event."""
         return self.start_flow(size, resources, label=label).completed
 
+    def refresh(self) -> None:
+        """Re-share bandwidth after an external capacity change.
+
+        Fault injection (medium degradation, NIC rate caps) rewrites
+        ``Resource.capacity`` while flows are in flight; calling this
+        integrates progress at the old rates and recomputes the max–min
+        allocation under the new capacities.
+        """
+        self._advance_progress()
+        self._reallocate()
+
+    def set_capacity(self, resource: Resource, capacity: float) -> None:
+        """Change one resource's capacity and re-share immediately."""
+        if capacity <= 0:
+            raise SimulationError(
+                f"resource {resource.name!r} needs capacity > 0"
+            )
+        self._advance_progress()
+        resource.capacity = float(capacity)
+        self._reallocate()
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -1,0 +1,21 @@
+"""Shared pytest wiring for the test suite.
+
+``--chaos-seeds N`` controls how many seeds the randomized chaos tests
+(:mod:`tests.test_chaos_convergence`) run with. The default keeps the
+tier-1 suite fast; CI's chaos smoke job raises it.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seeds",
+        type=int,
+        default=2,
+        help="number of seeds to run the chaos convergence tests with",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        count = metafunc.config.getoption("--chaos-seeds")
+        metafunc.parametrize("chaos_seed", range(count))

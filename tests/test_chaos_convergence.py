@@ -1,0 +1,94 @@
+"""Seeded chaos runs: random faults, then provable convergence.
+
+The property under test: whatever a (data-loss-safe) ChaosProcess does
+to the cluster — crashes, partitions, disk failures, degradations,
+corruption — once the chaos drains its heals and the replication
+manager quiesces, every live file's block set satisfies its replication
+vector and every file is readable end to end.
+
+The ``chaos_seed`` fixture is parametrized by ``--chaos-seeds N``
+(see ``conftest.py``); CI smoke runs 5 seeds. The ``chaos``-marked
+long-run variant is excluded from the default suite.
+"""
+
+import pytest
+
+from repro import OctopusFileSystem, ReplicationVector
+from repro.cluster import small_cluster_spec
+from repro.fs.invariants import block_map_fingerprint, check_system_invariants
+from repro.util.units import MB
+
+#: Vectors whose durable replica count keeps chaos data-loss-safe.
+VECTORS = [
+    ReplicationVector.of(hdd=2),
+    ReplicationVector.of(ssd=1, hdd=1),
+    ReplicationVector.of(memory=1, hdd=1),
+    ReplicationVector.from_replication_factor(3),
+]
+
+
+def _run_chaos(seed, duration=30.0, mean_interval=2.0, files=4):
+    """Build a cluster, unleash seeded chaos, quiesce; return (fs, chaos)."""
+    fs = OctopusFileSystem(small_cluster_spec(seed=seed))
+    client = fs.client(on="worker1")
+    for index in range(files):
+        client.write_file(
+            f"/chaos/f{index}",
+            size=4 * MB,
+            rep_vector=VECTORS[index % len(VECTORS)],
+        )
+    fs.master.heartbeat_expiry = 6.0
+    fs.start_services(heartbeat_interval=2.0, replication_interval=3.0)
+    chaos = fs.faults.start_chaos(
+        seed=seed,
+        mean_interval=mean_interval,
+        duration=duration,
+        heal_delay=(1.0, 5.0),
+    )
+    fs.engine.run(until=chaos.process)  # chaos exits fully healed
+    fs.stop_services()
+    fs.await_replication()
+    return fs, chaos
+
+
+class TestChaosConvergence:
+    def test_cluster_converges_after_chaos(self, chaos_seed):
+        fs, chaos = _run_chaos(seed=chaos_seed)
+        assert chaos.strikes > 0, "chaos run never struck anything"
+        check_system_invariants(fs)
+
+    def test_same_seed_same_trace(self):
+        """The chaos stream is a pure function of its seed."""
+        fs1, _ = _run_chaos(seed=42, duration=20.0)
+        fs2, _ = _run_chaos(seed=42, duration=20.0)
+        assert fs1.faults.trace_lines() == fs2.faults.trace_lines()
+        assert block_map_fingerprint(fs1) == block_map_fingerprint(fs2)
+
+    def test_different_seeds_different_traces(self):
+        fs1, _ = _run_chaos(seed=1, duration=20.0)
+        fs2, _ = _run_chaos(seed=2, duration=20.0)
+        assert fs1.faults.trace_lines() != fs2.faults.trace_lines()
+
+    def test_max_events_bounds_the_run(self):
+        fs = OctopusFileSystem(small_cluster_spec())
+        client = fs.client(on="worker1")
+        client.write_file("/b", size=4 * MB, rep_vector=VECTORS[0])
+        chaos = fs.faults.start_chaos(
+            seed=3, mean_interval=0.5, duration=1e9, max_events=4
+        )
+        fs.engine.run(until=chaos.process)
+        assert chaos.strikes == 4
+        fs.await_replication()
+        check_system_invariants(fs)
+
+
+@pytest.mark.chaos
+class TestChaosLongRun:
+    """Opt-in soak run: ``pytest -m chaos --chaos-seeds N``."""
+
+    def test_extended_chaos_convergence(self, chaos_seed):
+        fs, chaos = _run_chaos(
+            seed=1000 + chaos_seed, duration=120.0, mean_interval=3.0, files=8
+        )
+        assert chaos.strikes > 5
+        check_system_invariants(fs)

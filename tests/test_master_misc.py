@@ -112,7 +112,45 @@ class TestMasterCornerCases:
         record.last_heartbeat = -10.0  # ancient
         expired = fs.master.check_worker_liveness()
         assert "worker1" in expired
-        assert record.dead
+        # Heartbeat silence alone does not prove a crash: the worker is
+        # declared silent (unreachable, data intact), not dead.
+        assert record.silent and not record.dead
+        assert not record.reachable
+        assert not record.worker.node.failed
+
+    def test_silent_worker_reconciles_instead_of_reregistering(self, fs, client):
+        """Regression: silence and death are distinct states.
+
+        A heartbeat-silent worker used to be marked ``node.failed``, so
+        its later re-heartbeat looked like a fresh registration. Now the
+        silent worker keeps its replicas and the re-heartbeat reconciles
+        them (marking its blocks dirty for the replication manager).
+        """
+        client.write_file("/sil", size=MB, rep_vector=2)
+        fs.master.heartbeat_expiry = 5.0
+        record = fs.master.workers["worker1"]
+        inventory_before = len(record.worker.block_report())
+        record.last_heartbeat = -10.0
+        fs.master.check_worker_liveness()
+        assert record.silent and not record.dead
+        # The silent worker's replicas were NOT pruned from its disk.
+        assert len(record.worker.block_report()) == inventory_before
+        # Re-heartbeat: reconciliation, not a fresh registration.
+        fs.master._dirty_blocks.clear()
+        fs.master.receive_heartbeat(record.worker.heartbeat())
+        assert record.reachable and not record.silent
+        assert not record.worker.node.unreachable
+        # Its blocks were queued for revalidation.
+        if inventory_before:
+            assert fs.master.pending_replication > 0
+        fs.await_replication()
+
+    def test_crashed_node_still_declared_dead(self, fs, client):
+        fs.cluster.fail_node("worker2")
+        expired = fs.master.check_worker_liveness()
+        assert "worker2" in expired
+        record = fs.master.workers["worker2"]
+        assert record.dead and not record.silent
 
     def test_pending_replication_counter(self, fs, client):
         client.write_file("/p", size=MB, rep_vector=ReplicationVector.of(hdd=1))

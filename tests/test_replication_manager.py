@@ -158,7 +158,12 @@ class TestFailureRecovery:
         fs.await_replication()
         new_loc = fs.client().get_file_block_locations("/cr")[0]
         assert len(new_loc.hosts) == 3
-        assert loc.media[0] not in new_loc.media
+        # The corrupt copy was pruned; every surviving replica is clean
+        # (re-placement may legitimately reuse the same medium with
+        # data recopied from a clean source).
+        meta = fs.master.block_map[loc.block_id]
+        assert all(not r.corrupt and not r.damaged for r in meta.replicas)
+        assert fs.client(on="worker2").read_file("/cr") == b"k" * MB
 
     def test_memory_replicas_lost_on_restart(self, fs, client):
         client.write_file(
@@ -214,3 +219,81 @@ class TestServices:
         fs.stop_services()
         for record in fs.master.workers.values():
             assert record.last_heartbeat >= 4.0
+
+
+class TestReplicationEdgeCases:
+    """Corner cases of the §5 analysis and removal-selection primitives."""
+
+    class FakeReplica:
+        def __init__(self, tier):
+            self.tier_name = tier
+
+    def replicas(self, *tiers):
+        return [self.FakeReplica(t) for t in tiers]
+
+    def test_over_tier_a_under_tier_b_same_block(self):
+        # Vector <1,0,1> against replicas H,H,S: the memory slot is
+        # missing while BOTH hdd and ssd run a surplus — the analysis
+        # must report the addition and the removals simultaneously.
+        actions = analyze_block(
+            ReplicationVector.of(memory=1, hdd=1),
+            self.replicas("HDD", "HDD", "SSD"),
+        )
+        assert actions.additions == ["MEMORY"]
+        assert actions.removals == 2
+        assert actions.removable_tiers == {"HDD": 1, "SSD": 1}
+        assert actions.under_replicated and actions.over_replicated
+
+    def test_zero_vector_tier_makes_every_copy_there_surplus(self):
+        actions = analyze_block(
+            ReplicationVector.of(hdd=2),
+            self.replicas("MEMORY", "HDD", "HDD"),
+        )
+        assert actions.additions == []
+        assert actions.removals == 1
+        assert actions.removable_tiers == {"MEMORY": 1}
+
+    def test_empty_replica_set_is_pure_deficit(self):
+        actions = analyze_block(ReplicationVector.of(ssd=1, u=1), [])
+        assert actions.additions == ["SSD", None]
+        assert actions.removals == 0
+
+    def test_remove_rejects_when_no_candidate_on_surplus_tier(self, fs, client):
+        from repro.core.objectives import ObjectiveContext
+        from repro.core.replication import choose_replica_to_remove
+        from repro.errors import BlockError
+
+        client.write_file(
+            "/edge", size=4 * MB, rep_vector=ReplicationVector.of(ssd=1, hdd=1)
+        )
+        loc = client.get_file_block_locations("/edge")[0]
+        meta = fs.master.block_map[loc.block_id]
+        ctx = ObjectiveContext.from_cluster(fs.cluster, block_size=4 * MB)
+        # Removal may only draw from MEMORY, where nothing lives — e.g.
+        # all flagged copies died with their media between analysis and
+        # execution.
+        with pytest.raises(BlockError):
+            choose_replica_to_remove(
+                meta.live_replicas(), {"MEMORY": 1}, ctx
+            )
+
+    def test_surplus_on_failed_medium_resolves_by_pruning(self, fs, client):
+        """Over-replication where the surplus copy sits on a failed
+        medium: removal has no live candidate, but convergence must not
+        crash — the dead replica is pruned instead."""
+        client.write_file(
+            "/prune", size=4 * MB, rep_vector=ReplicationVector.of(ssd=1, hdd=1)
+        )
+        loc = client.get_file_block_locations("/prune")[0]
+        ssd_medium = next(m for m in loc.media if "ssd" in m)
+        # The vector drops the SSD requirement (its copy becomes
+        # surplus) just as the SSD device dies.
+        client.set_replication("/prune", ReplicationVector.of(hdd=1))
+        fs.fail_medium(ssd_medium)
+        fs.await_replication()
+        meta = fs.master.block_map[loc.block_id]
+        assert [r.tier_name for r in meta.live_replicas()] == ["HDD"]
+        assert analyze_block(
+            fs.master.namespace.get_file("/prune").rep_vector,
+            meta.live_replicas(),
+        ).balanced
