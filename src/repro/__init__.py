@@ -36,6 +36,7 @@ from repro.core import (
     make_policy,
 )
 from repro.fs import Client, Master, OctopusFileSystem, UserContext, Worker
+from repro.obs import Observability
 from repro.sim import (
     ChaosProcess,
     FaultEvent,
@@ -63,6 +64,7 @@ __all__ = [
     "Worker",
     "UserContext",
     "OctopusFileSystem",
+    "Observability",
     "SimulationEngine",
     "ChaosProcess",
     "FaultEvent",

@@ -24,6 +24,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -32,6 +33,7 @@ from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.tables import format_table
 from repro.cluster.spec import paper_cluster_spec
 from repro.core.replication_vector import ReplicationVector
+from repro.obs import tier_report_data, write_jsonl, write_metrics
 from repro.util.units import format_bytes, format_rate, parse_bytes
 from repro.workloads.dfsio import Dfsio
 from repro.workloads.slive import (
@@ -64,18 +66,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dfsio.add_argument("--seed", type=int, default=0)
     dfsio.add_argument("--racks", type=int, default=1)
+    _add_observability_flags(dfsio)
 
     slive = sub.add_parser("slive", help="namespace stress test vs HDFS")
     slive.add_argument("--ops", type=int, default=2000)
     slive.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(slive)
 
     report = sub.add_parser("report", help="show a deployment's tier report")
     report.add_argument("--deployment", choices=DEPLOYMENTS, default="octopus")
     report.add_argument("--racks", type=int, default=2)
     report.add_argument("--workers", type=int, default=9)
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the report as machine-readable JSON",
+    )
 
     sub.add_parser("list", help="list experiments and deployments")
     return parser
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write collected metrics (Prometheus text; JSON if PATH "
+        "ends in .json)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the structured trace as JSONL",
+    )
+
+
+def _export_observability(obs, args: argparse.Namespace) -> None:
+    if args.metrics_out:
+        write_metrics(obs.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        write_jsonl(obs.tracer.records, args.trace_out)
+        print(f"trace written to {args.trace_out}")
 
 
 def _parse_vector(text: str | None) -> ReplicationVector | int:
@@ -97,6 +130,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_dfsio(args: argparse.Namespace) -> int:
     spec = paper_cluster_spec(racks=args.racks, seed=args.seed)
     fs = build_deployment(args.deployment, spec=spec, seed=args.seed)
+    if args.metrics_out or args.trace_out:
+        fs.obs.enable()
     bench = Dfsio(fs)
     vector = _parse_vector(args.vector)
     write = bench.write(
@@ -121,11 +156,17 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
     )
     if read.locality_fraction is not None:
         print(f"node-local read fraction: {read.locality_fraction:.2f}")
+    _export_observability(fs.obs, args)
     return 0
 
 
 def cmd_slive(args: argparse.Namespace) -> int:
-    slive = SLive(ops_per_type=args.ops, seed=args.seed)
+    obs = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+    slive = SLive(ops_per_type=args.ops, seed=args.seed, obs=obs)
     octo = slive.run(OctopusNamespaceAdapter())
     hdfs = slive.run(HdfsNamespaceAdapter())
     rows = [
@@ -145,12 +186,18 @@ def cmd_slive(args: argparse.Namespace) -> int:
             title=f"S-Live ({args.ops} ops per type)",
         )
     )
+    if obs is not None:
+        _export_observability(slive.obs, args)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     spec = paper_cluster_spec(racks=args.racks, workers=args.workers)
     fs = build_deployment(args.deployment, spec=spec)
+    if args.json:
+        data = {"deployment": args.deployment, **tier_report_data(fs)}
+        print(json.dumps(data, sort_keys=True, indent=2))
+        return 0
     print(f"deployment: {args.deployment}")
     print(f"placement:  {fs.master.placement_policy!r}")
     print(f"retrieval:  {fs.master.retrieval_policy!r}")

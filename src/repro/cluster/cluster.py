@@ -6,6 +6,7 @@ from repro.cluster.media import StorageMedium, StorageTier
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import NetworkTopology, Node
 from repro.errors import ConfigurationError
+from repro.obs import Observability
 from repro.sim.engine import SimulationEngine
 from repro.sim.flows import FlowScheduler
 from repro.util.rng import DeterministicRng
@@ -24,7 +25,10 @@ class Cluster:
     ) -> None:
         self.spec = spec
         self.engine = engine or SimulationEngine()
-        self.flows = FlowScheduler(self.engine)
+        #: Metrics + tracing bundle, stamped by the sim clock. Disabled
+        #: (near-zero-cost) until someone calls ``obs.enable()``.
+        self.obs = Observability(clock=lambda: self.engine.now)
+        self.flows = FlowScheduler(self.engine, obs=self.obs)
         self.rng = DeterministicRng(spec.seed, "cluster")
         self.topology = NetworkTopology()
         self.tiers: dict[str, StorageTier] = {

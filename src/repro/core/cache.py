@@ -170,9 +170,14 @@ class CacheManager:
         self.stats.accesses += 1
         now = self.system.engine.now
         self._access_counts[path] = self._access_counts.get(path, 0) + 1
+        obs = self.system.obs
         if path in self.stats.cached_paths:
             self.policy.record_access(path, now)
+            if obs.enabled:
+                obs.metrics.counter("cache_accesses_total", result="hit").inc()
             return
+        if obs.enabled:
+            obs.metrics.counter("cache_accesses_total", result="miss").inc()
         if self._access_counts[path] >= self.promote_after:
             self._promote(path, now)
 
@@ -206,6 +211,11 @@ class CacheManager:
         self.stats.cached_bytes += length
         self.stats.promotions += 1
         self.policy.record_access(path, now)
+        obs = self.system.obs
+        if obs.enabled:
+            obs.tracer.event("cache.promoted", path=path, bytes=length)
+            obs.metrics.counter("cache_promotions_total").inc()
+            obs.metrics.gauge("cache_bytes").set(self.stats.cached_bytes)
 
     def demote(self, path: str) -> None:
         """Drop the cached memory replica of ``path``."""
@@ -228,6 +238,11 @@ class CacheManager:
             length = 0  # the file vanished; only bookkeeping remains
         self.stats.cached_bytes = max(0, self.stats.cached_bytes - length)
         self.stats.demotions += 1
+        obs = self.system.obs
+        if obs.enabled:
+            obs.tracer.event("cache.demoted", path=path, bytes=length)
+            obs.metrics.counter("cache_demotions_total").inc()
+            obs.metrics.gauge("cache_bytes").set(self.stats.cached_bytes)
 
     def flush(self) -> None:
         """Demote everything (e.g. before shutting the manager down)."""

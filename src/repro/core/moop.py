@@ -37,6 +37,8 @@ from repro.core.objectives import (
     ALL_OBJECTIVES,
     ObjectiveContext,
     global_criterion_score,
+    ideal_vector,
+    objective_vector,
 )
 from repro.core.replication_vector import ReplicationVector
 from repro.errors import InsufficientStorageError, PlacementError
@@ -264,7 +266,53 @@ def place_replicas(
         scored_against = base + chosen
         best = solve_moop(options, scored_against, ctx, objectives)
         chosen.append(best)
+    _record_decision(cluster, request, objectives, ctx, base, chosen)
     return chosen
+
+
+def _record_decision(
+    cluster: "Cluster",
+    request: PlacementRequest,
+    objectives: Sequence[str],
+    ctx: ObjectiveContext,
+    base: list["StorageMedium"],
+    chosen: list["StorageMedium"],
+) -> None:
+    """Publish the decision's per-objective scores to observability.
+
+    Writes ``obs.last_placement`` (picked up by the client stream that
+    triggered the allocation, across the master RPC boundary) and emits
+    a ``placement.decision`` event parented to whatever span is current
+    — inside :meth:`Master.allocate_block` that is the allocation span.
+    """
+    obs = getattr(cluster, "obs", None)
+    if obs is None or not obs.enabled:
+        return
+    final = base + chosen
+    actual = objective_vector(final, ctx, objectives)
+    ideal = ideal_vector(len(final), ctx, objectives)
+    score = math.sqrt(sum((a - z) ** 2 for a, z in zip(actual, ideal)))
+    decision = {
+        "objectives": {name: value for name, value in zip(objectives, actual)},
+        "ideal": {name: value for name, value in zip(objectives, ideal)},
+        "score": score,
+        "chosen": [m.medium_id for m in chosen],
+        "existing": [m.medium_id for m in base],
+    }
+    obs.last_placement = decision
+    obs.metrics.counter("placement_decisions_total").inc()
+    for tier in {m.tier_name for m in chosen}:
+        obs.metrics.counter("placement_replicas_total", tier=tier).inc(
+            sum(1 for m in chosen if m.tier_name == tier)
+        )
+    obs.metrics.histogram("placement_score").observe(score)
+    obs.tracer.event(
+        "placement.decision",
+        replicas=len(chosen),
+        score=score,
+        chosen=decision["chosen"],
+        **decision["objectives"],
+    )
 
 
 def exhaustive_place_replicas(

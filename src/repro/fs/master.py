@@ -99,6 +99,7 @@ class Master:
     ) -> None:
         self.cluster = cluster
         self.name = name
+        self.obs = cluster.obs
         self.namespace = Namespace(
             clock=lambda: cluster.engine.now,
             tier_order=tuple(cluster.tier_order),
@@ -136,6 +137,9 @@ class Master:
             raise WorkerError(f"heartbeat from unregistered {report.node_name}")
         record.last_heartbeat = report.timestamp
         record.last_report = report
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("heartbeats_total").inc()
         if record.silent or record.worker.node.unreachable:
             # The worker was only unreachable — its replicas are intact
             # and count again. Mark its blocks dirty so the replication
@@ -147,8 +151,13 @@ class Master:
             record.silent = False
             record.worker.node.unreachable = False
             self._mark_node_blocks_dirty(record.worker)
+            if obs.enabled:
+                obs.tracer.event("worker.reconciled", worker=report.node_name)
+                obs.metrics.counter("workers_reconciled_total").inc()
         if record.dead and not record.worker.node.failed:
             record.dead = False  # worker re-joined
+            if obs.enabled:
+                obs.tracer.event("worker.rejoined", worker=report.node_name)
 
     def receive_block_report(self, worker: Worker) -> int:
         """Reconcile a worker's replica inventory with the block map.
@@ -178,6 +187,7 @@ class Master:
         instead of re-registering from scratch.
         """
         now = self.cluster.engine.now
+        obs = self.obs
         expired = []
         for record in self.workers.values():
             node = record.worker.node
@@ -187,6 +197,9 @@ class Master:
                     record.silent = False
                     expired.append(record.worker.name)
                     self._mark_node_blocks_dirty(record.worker)
+                    if obs.enabled:
+                        obs.tracer.event("worker.dead", worker=node.name)
+                        obs.metrics.counter("workers_declared_dead_total").inc()
                 continue
             if record.dead or record.silent:
                 continue
@@ -198,6 +211,13 @@ class Master:
                 node.unreachable = True
                 expired.append(record.worker.name)
                 self._mark_node_blocks_dirty(record.worker)
+                if obs.enabled:
+                    obs.tracer.event("worker.silent", worker=node.name)
+                    obs.metrics.counter("workers_declared_silent_total").inc()
+        if obs.enabled:
+            obs.metrics.gauge("workers_reachable").set(
+                sum(1 for r in self.workers.values() if r.reachable)
+            )
         return expired
 
     def _mark_node_blocks_dirty(self, worker: Worker) -> None:
@@ -391,7 +411,37 @@ class Master:
             block_size=inode.block_size,
             client_node=client_node,
         )
-        targets = self.placement_policy.choose_targets(self.cluster, request)
+        obs = self.obs
+        if obs.enabled:
+            # The allocation span covers the placement decision; while it
+            # is the implicit current span (this method never yields),
+            # ``place_replicas`` parents its ``placement.decision`` event
+            # here and fills ``obs.last_placement`` for the caller.
+            obs.last_placement = None
+            span = obs.tracer.start_span(
+                "master.allocate_block",
+                block=f"{inode.path()}#{len(inode.blocks)}",
+                vector=inode.rep_vector.shorthand(),
+            )
+            with obs.tracer.use(span):
+                try:
+                    targets = self.placement_policy.choose_targets(
+                        self.cluster, request
+                    )
+                except Exception as exc:
+                    span.end("error", error=type(exc).__name__)
+                    obs.metrics.counter("allocations_failed_total").inc()
+                    raise
+            span.annotate(
+                targets=[m.medium_id for m in targets],
+                tiers=[m.tier_name for m in targets],
+            )
+            if obs.last_placement is not None:
+                span.annotate(placement_score=obs.last_placement["score"])
+            span.end()
+            obs.metrics.counter("allocations_total").inc()
+        else:
+            targets = self.placement_policy.choose_targets(self.cluster, request)
         self._check_quota_for_targets(inode, targets)
         for medium in targets:
             medium.reserve(inode.block_size)
@@ -572,10 +622,27 @@ class Master:
         self._dirty_blocks.clear()
         processes = []
         # Most-endangered blocks first, as in HDFS's replication queues.
+        # Ties break on (path, index), never on block id: ids are
+        # process-global counters, and an int set like _dirty_blocks
+        # iterates in value order, so id-dependent ordering would make
+        # otherwise identical runs repair (and place) differently.
         metas = [self.block_map[b] for b in block_ids if b in self.block_map]
-        metas.sort(key=lambda meta: len(meta.live_replicas()))
+        metas.sort(
+            key=lambda meta: (
+                len(meta.live_replicas()),
+                meta.block.file_path,
+                meta.block.index,
+            )
+        )
         for meta in metas:
             processes.extend(self._converge_block(meta))
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("replication_passes_total").inc()
+            obs.metrics.counter("repairs_scheduled_total").inc(len(processes))
+            obs.metrics.gauge("replication_pending").set(
+                len(self._dirty_blocks)
+            )
         return processes
 
     def _converge_block(self, meta: BlockMeta) -> list:
@@ -649,6 +716,13 @@ class Master:
             targets = self.placement_policy.choose_targets(self.cluster, request)
         except InsufficientStorageError:
             self._dirty_blocks.add(meta.block.block_id)  # retry later
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    "repair.deferred",
+                    block=f"{meta.block.file_path}#{meta.block.index}",
+                    tier=tier,
+                )
+                self.obs.metrics.counter("repairs_deferred_total").inc()
             return None
         destination = targets[0]
         # Copy from the most efficient source, judged by the retrieval
@@ -672,13 +746,31 @@ class Master:
         destination: "StorageMedium",
         tier: str | None,
     ) -> Generator:
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            # Explicit root span: this process yields, so the implicit
+            # current-span stack cannot carry the parent across resumes.
+            span = obs.tracer.start_span(
+                "master.repair",
+                block=f"{meta.block.file_path}#{meta.block.index}",
+                tier=tier,
+                source=source.medium.medium_id,
+                destination=destination.medium_id,
+            )
         try:
             replica = yield from worker.copy_replica_proc(
-                meta.block, source, destination, tier
+                meta.block, source, destination, tier, parent=span
             )
-        except Exception:
+        except Exception as exc:
             self._dirty_blocks.add(meta.block.block_id)
+            if span is not None:
+                span.end("error", error=type(exc).__name__)
+                obs.metrics.counter("repairs_failed_total").inc()
             return None
+        if span is not None:
+            span.end()
+            obs.metrics.counter("repairs_completed_total").inc()
         meta.replicas.append(replica)
         self.namespace.charge_tier_space(
             meta.inode, replica.tier_name, meta.block.size

@@ -159,9 +159,24 @@ class FSDataOutputStream:
             self._client_node,
             [r.medium for r in replicas],
         )
-        yield self._system.cluster.flows.transfer(
-            payload, resources, label=f"append:{block.block_id}"
-        )
+        obs = self._system.obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.start_span(
+                "client.append_block",
+                path=self._path,
+                block=f"{block.file_path}#{block.index}",
+                size=payload,
+            )
+        try:
+            yield self._system.cluster.flows.transfer(
+                payload, resources, label=f"append:{block.block_id}",
+                parent=span,
+            )
+        except Exception as exc:
+            if span is not None:
+                span.end("error", error=type(exc).__name__)
+            raise
         self._master.extend_block(block, payload, replicas)
         for replica in replicas:
             if data is not None and replica.data is not None:
@@ -169,17 +184,51 @@ class FSDataOutputStream:
             elif data is None:
                 replica.data = None
         self.bytes_written += payload
+        if span is not None:
+            for replica in replicas:
+                obs.metrics.counter(
+                    "bytes_written_total", tier=replica.tier_name
+                ).inc(payload)
+            obs.metrics.histogram("block_write_seconds").observe(span.duration)
+            span.end()
 
     # ------------------------------------------------------------------
     # Pipeline internals (§3.1)
     # ------------------------------------------------------------------
     def _flush_block_proc(self, payload: int, data: bytes | None) -> Generator:
         master = self._master
+        obs = self._system.obs
         failures = 0
         while True:
-            block, targets = master.allocate_block(
-                self._path, client_node=self._client_node
-            )
+            span = None
+            if obs.enabled:
+                # The op span is explicit (this generator yields, so the
+                # implicit stack cannot hold it), but it *is* pushed
+                # around the synchronous master RPC so the allocation
+                # span — and the placement decision under it — become
+                # its children.
+                span = obs.tracer.start_span(
+                    "client.write_block",
+                    path=self._path,
+                    size=payload,
+                    attempt=failures,
+                )
+                try:
+                    with obs.tracer.use(span):
+                        block, targets = master.allocate_block(
+                            self._path, client_node=self._client_node
+                        )
+                except Exception as exc:
+                    span.end("error", error=type(exc).__name__)
+                    raise
+                span.annotate(
+                    block=f"{self._path}#{block.index}",
+                    tiers=[m.tier_name for m in targets],
+                )
+            else:
+                block, targets = master.allocate_block(
+                    self._path, client_node=self._client_node
+                )
             inode = master.namespace.get_file(self._path)
             bound = master.bound_tiers_for_targets(inode.rep_vector, targets)
             replicas: list[Replica] = [
@@ -192,18 +241,44 @@ class FSDataOutputStream:
                 self._system.cluster.topology, self._client_node, targets
             )
             flow = self._system.cluster.flows.start_flow(
-                payload, resources, label=f"write:{block.block_id}"
+                payload, resources, label=f"write:{block.block_id}", parent=span
             )
+            if flow.span is not None:
+                # The block transfer span carries the MOOP per-objective
+                # scores of the placement decision that created it.
+                flow.span.annotate(
+                    op="write",
+                    block=f"{self._path}#{block.index}",
+                    tiers=[m.tier_name for m in targets],
+                )
+                if obs.last_placement is not None:
+                    flow.span.annotate(
+                        moop=obs.last_placement["objectives"],
+                        placement_score=obs.last_placement["score"],
+                    )
             try:
                 yield flow.completed
-            except Exception:
+            except Exception as exc:
                 master.abort_block(block, replicas)
                 failures += 1
+                if span is not None:
+                    span.end("error", error=type(exc).__name__)
+                    obs.metrics.counter("block_writes_failed_total").inc()
                 if failures > _PIPELINE_RETRIES:
                     raise
                 continue
             master.commit_block(block, payload, replicas)
             self.bytes_written += payload
+            if span is not None:
+                for replica in replicas:
+                    obs.metrics.counter(
+                        "bytes_written_total", tier=replica.tier_name
+                    ).inc(payload)
+                obs.metrics.counter("blocks_written_total").inc()
+                obs.metrics.histogram("block_write_seconds").observe(
+                    span.duration
+                )
+                span.end()
             return
 
     def _check_open(self) -> None:
@@ -269,11 +344,22 @@ class FSDataInputStream:
     def _read_block_proc(
         self, block: Block, replicas: list[Replica]
     ) -> Generator:
+        obs = self._system.obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.start_span(
+                "client.read_block",
+                path=self._path,
+                block=f"{block.file_path}#{block.index}",
+                size=block.size,
+            )
         last_error: Exception | None = None
+        attempts = 0
         for replica in replicas:
             worker_record = self._master.workers.get(replica.node.name)
             if worker_record is None or not worker_record.reachable:
                 continue
+            attempts += 1
             try:
                 verified = worker_record.worker.read_replica(
                     block.block_id, replica.medium.medium_id
@@ -284,19 +370,44 @@ class FSDataInputStream:
                     block.block_id, replica.medium.medium_id
                 )
                 last_error = exc
+                if span is not None:
+                    obs.metrics.counter("read_failovers_total").inc()
                 continue
             resources = read_resources(
                 self._system.cluster.topology, replica.medium, self._client_node
             )
             flow = self._system.cluster.flows.start_flow(
-                block.size, resources, label=f"read:{block.block_id}"
+                block.size, resources, label=f"read:{block.block_id}",
+                parent=span,
             )
+            if flow.span is not None:
+                flow.span.annotate(
+                    op="read",
+                    block=f"{block.file_path}#{block.index}",
+                    tier=replica.tier_name,
+                )
             try:
                 yield flow.completed
             except Exception as exc:  # worker died mid-read
                 last_error = exc
+                if span is not None:
+                    obs.metrics.counter("read_failovers_total").inc()
                 continue
+            if span is not None:
+                tier = replica.tier_name
+                obs.metrics.counter("bytes_read_total", tier=tier).inc(
+                    block.size
+                )
+                obs.metrics.counter("tier_read_hits_total", tier=tier).inc()
+                obs.metrics.counter("blocks_read_total").inc()
+                obs.metrics.histogram("block_read_seconds").observe(
+                    span.duration
+                )
+                span.end(tier=tier, attempts=attempts)
             return verified
+        if span is not None:
+            span.end("error", attempts=attempts)
+            obs.metrics.counter("block_reads_failed_total").inc()
         raise RetrievalError(
             f"all replicas of block {block.block_id} failed"
         ) from last_error

@@ -54,6 +54,7 @@ class OctopusFileSystem:
         else:
             self.cluster = Cluster(spec_or_cluster)
         self.engine = self.cluster.engine
+        self.obs = self.cluster.obs
         self.master = Master(
             self.cluster,
             placement_policy=placement_policy,
@@ -230,7 +231,9 @@ class OctopusFileSystem:
         doomed_flows = {
             flow for resource in doomed_resources for flow in resource.flows
         }
-        for flow in doomed_flows:
+        # Cancel in flow start order: set order follows object addresses
+        # and would make the failure cascade differ between runs.
+        for flow in sorted(doomed_flows, key=lambda f: f.seq):
             self.cluster.flows.cancel_flow(flow, failure)
         self.master.check_worker_liveness()
 
@@ -246,7 +249,7 @@ class OctopusFileSystem:
         medium.failed = True
         failure = WorkerError(f"medium {medium_id} failed")
         doomed = set(medium.read_channel.flows) | set(medium.write_channel.flows)
-        for flow in doomed:
+        for flow in sorted(doomed, key=lambda f: f.seq):
             self.cluster.flows.cancel_flow(flow, failure)
         worker = self.workers.get(medium.node.name)
         if worker is not None:
@@ -294,7 +297,7 @@ class OctopusFileSystem:
         if cut_flows:
             failure = WorkerError(f"worker {name} is unreachable")
             doomed = set(node.nic_in.flows) | set(node.nic_out.flows)
-            for flow in doomed:
+            for flow in sorted(doomed, key=lambda f: f.seq):
                 self.cluster.flows.cancel_flow(flow, failure)
 
     def unsilence_worker(self, name: str) -> None:

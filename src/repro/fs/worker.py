@@ -167,13 +167,15 @@ class Worker:
         source: Replica,
         destination: "StorageMedium",
         bound_tier: str | None,
+        parent=None,
     ) -> Generator:
         """Process: pull a replica from ``source`` onto a local medium.
 
         The Master already reserved space on ``destination``; this
         process owns that reservation and releases it on any failure.
         Yields until the transfer flow completes; returns the new
-        replica.
+        replica. ``parent`` links the transfer's trace span to the
+        repair (or rebalance) operation that requested the copy.
         """
         try:
             replica = self.create_replica(
@@ -191,11 +193,17 @@ class Worker:
             yield self.cluster.flows.transfer(
                 block.size, resources,
                 label=f"replicate:{block.block_id}->{destination.medium_id}",
+                parent=parent,
             )
         except Exception:
             self.abort_replica(replica)
             raise
         self.finalize_replica(replica, block.size)
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "replication_bytes_total", tier=destination.tier_name
+            ).inc(block.size)
         return replica
 
     # ------------------------------------------------------------------

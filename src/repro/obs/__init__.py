@@ -1,0 +1,115 @@
+"""Simulation-time observability: metrics, tracing, and exporters.
+
+The :class:`Observability` facade bundles a :class:`MetricsRegistry`
+and a :class:`Tracer` behind one ``enabled`` switch. Every cluster owns
+one (``cluster.obs``, mirrored as ``fs.obs`` and ``master.obs``),
+disabled by default so instrumented hot paths cost one attribute load
+and one branch.
+
+Typical enablement::
+
+    fs = build_deployment("octopus", spec=spec, seed=0)
+    fs.obs.enable()
+    ... run a workload ...
+    write_jsonl(fs.obs.tracer.records, "trace.jsonl")
+    print(prometheus_text(fs.obs.metrics))
+
+Instrumented call sites follow one idiom::
+
+    obs = self.obs
+    if obs.enabled:
+        obs.metrics.counter("bytes_written_total", tier=tier).inc(n)
+
+The guard keeps the disabled path free of label-dict allocation; the
+facade swaps in shared null singletons (:data:`NULL_REGISTRY`,
+:data:`NULL_TRACER`) when disabled, so even unguarded calls are safe
+no-ops.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.export import (
+    metrics_json,
+    prometheus_text,
+    tier_report_data,
+    tier_utilization_rows,
+    to_jsonl,
+    validate_trace_records,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.registry import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "to_jsonl",
+    "write_jsonl",
+    "validate_trace_records",
+    "prometheus_text",
+    "metrics_json",
+    "write_metrics",
+    "tier_report_data",
+    "tier_utilization_rows",
+]
+
+
+class Observability:
+    """One switchable bundle of metrics + tracing for a cluster."""
+
+    __slots__ = ("enabled", "metrics", "tracer", "last_placement", "_clock")
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = False,
+    ) -> None:
+        self._clock = clock
+        self.enabled = False
+        self.metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        #: Side channel: the most recent placement decision's objective
+        #: scores, written by ``core.moop.place_replicas`` and read by
+        #: the client stream that triggered the allocation (the two are
+        #: separated by the master RPC boundary). ``None`` when the last
+        #: allocation bypassed MOOP (rule-based/HDFS policies).
+        self.last_placement: dict | None = None
+        if enabled:
+            self.enable()
+
+    def enable(self) -> "Observability":
+        """Switch on collection (idempotent; state survives re-enable)."""
+        if not self.enabled:
+            self.enabled = True
+            self.metrics = MetricsRegistry(self._clock)
+            self.tracer = Tracer(self._clock)
+        return self
+
+    def disable(self) -> "Observability":
+        """Switch off collection and drop all recorded state."""
+        self.enabled = False
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.last_placement = None
+        return self
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0

@@ -1,0 +1,204 @@
+"""Exporters: JSONL trace logs, Prometheus text, tier report tables.
+
+All serialization is deterministic: dict keys are sorted, instruments
+are emitted in registry order, and floats pass through ``repr`` via
+``json.dumps`` — so two identically-seeded simulation runs produce
+byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.system import OctopusFileSystem
+    from repro.obs.registry import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# JSONL trace export
+# ----------------------------------------------------------------------
+def to_jsonl(records: Iterable[dict]) -> str:
+    """Serialize trace records, one canonical JSON object per line."""
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in records
+    )
+
+
+def write_jsonl(records: Iterable[dict], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(records))
+
+
+def validate_trace_records(records: Iterable[dict]) -> list[str]:
+    """Schema-check trace records; return a list of problems (empty = ok).
+
+    Checks per record: required keys for its ``kind``, and that every
+    non-root ``parent_id``/``trace_id`` refers to a span that appears in
+    the stream.
+    """
+    problems: list[str] = []
+    span_ids: set[int] = set()
+    trace_ids: set[int] = set()
+    materialized = list(records)
+    for index, record in enumerate(materialized):
+        kind = record.get("kind")
+        if kind == "span":
+            missing = {"name", "span_id", "trace_id", "parent_id", "start",
+                       "end", "status"} - record.keys()
+            if missing:
+                problems.append(f"record {index}: span missing {sorted(missing)}")
+                continue
+            span_ids.add(record["span_id"])
+            trace_ids.add(record["trace_id"])
+            if record["end"] < record["start"]:
+                problems.append(f"record {index}: span ends before it starts")
+        elif kind == "event":
+            missing = {"name", "time", "trace_id", "parent_id"} - record.keys()
+            if missing:
+                problems.append(
+                    f"record {index}: event missing {sorted(missing)}"
+                )
+        else:
+            problems.append(f"record {index}: unknown kind {kind!r}")
+    for index, record in enumerate(materialized):
+        parent = record.get("parent_id")
+        if parent is not None and parent not in span_ids:
+            problems.append(
+                f"record {index}: parent_id {parent} not in stream"
+            )
+        trace = record.get("trace_id")
+        if trace is not None and trace not in trace_ids:
+            problems.append(f"record {index}: trace_id {trace} not in stream")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: "MetricsRegistry") -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Time-series instruments are exposed as gauges holding their last
+    sample (the full series only exists in the JSON snapshot).
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.instruments():
+        name = _prom_name(instrument.name)
+        kind = instrument.kind
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "histogram", "timeseries": "gauge"}[kind]
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {prom_type}")
+        if kind == "counter" or kind == "gauge":
+            lines.append(
+                f"{name}{_prom_labels(instrument.labels)} "
+                f"{_prom_value(instrument.value)}"
+            )
+        elif kind == "timeseries":
+            last = instrument.last
+            lines.append(
+                f"{name}{_prom_labels(instrument.labels)} "
+                f"{_prom_value(last if last is not None else 0.0)}"
+            )
+        elif kind == "histogram":
+            for bound, count in instrument.cumulative_buckets():
+                le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                le_label = 'le="' + le + '"'
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(instrument.labels, le_label)} {count}"
+                )
+            lines.append(
+                f"{name}_sum{_prom_labels(instrument.labels)} "
+                f"{_prom_value(instrument.total)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(instrument.labels)} "
+                f"{instrument.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Tier report
+# ----------------------------------------------------------------------
+def tier_report_data(fs: "OctopusFileSystem") -> dict:
+    """The ``report`` command's data as a JSON-serializable dict."""
+    tiers = []
+    for stats in fs.master.get_storage_tier_reports():
+        tiers.append(
+            {
+                "tier": stats.tier_name,
+                "media_count": stats.media_count,
+                "total_capacity": stats.total_capacity,
+                "used": stats.used,
+                "remaining": stats.remaining,
+                "remaining_percent": stats.remaining_percent,
+                "avg_write_throughput": stats.avg_write_throughput,
+                "avg_read_throughput": stats.avg_read_throughput,
+                "active_connections": stats.active_connections,
+            }
+        )
+    return {
+        "placement": repr(fs.master.placement_policy),
+        "retrieval": repr(fs.master.retrieval_policy),
+        "nodes": len(fs.cluster.nodes),
+        "workers": len(fs.workers),
+        "racks": len(fs.cluster.topology.racks),
+        "tiers": tiers,
+    }
+
+
+def tier_utilization_rows(fs: "OctopusFileSystem") -> list[list]:
+    """Per-tier summary rows (tier, media, used, remaining %, connections)."""
+    return [
+        [
+            stats.tier_name,
+            stats.media_count,
+            stats.used,
+            f"{stats.remaining_percent:.1f}%",
+            stats.active_connections,
+        ]
+        for stats in fs.master.get_storage_tier_reports()
+    ]
+
+
+def metrics_json(registry: "MetricsRegistry") -> str:
+    """The metrics snapshot as canonical (byte-stable) JSON."""
+    return json.dumps(registry.snapshot(), sort_keys=True, indent=2) + "\n"
+
+
+def write_metrics(registry: "MetricsRegistry", path: str) -> None:
+    """Write metrics to ``path`` — JSON if it ends in ``.json``, else
+    Prometheus text exposition."""
+    text = (
+        metrics_json(registry)
+        if path.endswith(".json")
+        else prometheus_text(registry)
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,306 @@
+"""Sim-time-aware metrics: counters, gauges, histograms, time series.
+
+A :class:`MetricsRegistry` hands out *instruments* keyed by metric name
+plus a (sorted) label set, exactly as a Prometheus client library would
+— except that every timestamp comes from the simulation clock
+(``engine.now``), not the wall clock, so two identically-seeded runs
+produce identical metric state.
+
+Instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (bytes written,
+  placement decisions, faults injected).
+* :class:`Gauge` — a value that goes up and down (active flows,
+  reachable workers, pending replication).
+* :class:`Histogram` — observation distribution with cumulative
+  buckets, count, and sum (block write/read latencies, MOOP scores).
+* :class:`TimeSeries` — a gauge that remembers every sample as a
+  ``(sim_time, value)`` pair (per-resource utilization over a run).
+
+The **disabled** path is a first-class citizen: :data:`NULL_REGISTRY`
+returns one shared no-op instrument from every factory call, holds no
+state, and allocates no per-event objects — instrumented hot paths stay
+near-zero-cost when observability is off. Callers are still expected to
+guard label-building with ``if obs.enabled:`` so the label ``dict``
+itself is never constructed on the disabled path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+#: Default histogram bucket upper bounds (simulated seconds / scores).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def data(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def data(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus histogram semantics)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, in_bucket in zip(self.buckets, self.bucket_counts):
+            running += in_bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def data(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [bound if bound != float("inf") else "+Inf", count]
+                for bound, count in self.cumulative_buckets()
+            ],
+        }
+
+
+class TimeSeries:
+    """A gauge that remembers every sample with its simulated timestamp."""
+
+    kind = "timeseries"
+    __slots__ = ("name", "labels", "samples", "_clock")
+
+    def __init__(
+        self, name: str, labels: LabelKey, clock: Callable[[], float]
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.samples: list[tuple[float, float]] = []
+        self._clock = clock
+
+    def sample(self, value: float) -> None:
+        self.samples.append((self._clock(), float(value)))
+
+    @property
+    def last(self) -> float | None:
+        return self.samples[-1][1] if self.samples else None
+
+    def data(self) -> dict:
+        return {"samples": [[t, v] for t, v in self.samples]}
+
+
+class MetricsRegistry:
+    """Create-or-get instrument factory, stamped by the simulation clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._instruments: dict[tuple[str, str, LabelKey], object] = {}
+
+    def now(self) -> float:
+        return self._clock()
+
+    def _get(self, kind: str, factory, name: str, labels: dict) -> object:
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        factory = lambda n, lk: Histogram(n, lk, buckets)  # noqa: E731
+        return self._get("histogram", factory, name, labels)  # type: ignore[return-value]
+
+    def timeseries(self, name: str, **labels: str) -> TimeSeries:
+        factory = lambda n, lk: TimeSeries(n, lk, self._clock)  # noqa: E731
+        return self._get("timeseries", factory, name, labels)  # type: ignore[return-value]
+
+    def instruments(self) -> Iterator:
+        """All instruments, deterministically ordered by (kind, name, labels)."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def snapshot(self) -> dict:
+        """The full registry as a JSON-serializable, deterministic dict."""
+        out: dict[str, list] = {}
+        for instrument in self.instruments():
+            out.setdefault(instrument.kind + "s", []).append(
+                {
+                    "name": instrument.name,
+                    "labels": {k: v for k, v in instrument.labels},
+                    **instrument.data(),
+                }
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullInstrument:
+    """One shared no-op standing in for every instrument kind."""
+
+    kind = "null"
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    last = None
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def sample(self, value: float) -> None:
+        pass
+
+    def data(self) -> dict:
+        return {}
+
+
+#: The process-wide shared no-op instrument.
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: stateless, allocation-free, shared no-ops."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def counter(self, name: str = "", **labels: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str = "", **labels: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str = "", **labels: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def timeseries(self, name: str = "", **labels: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def instruments(self) -> Iterator:
+        return iter(())
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The process-wide shared disabled registry.
+NULL_REGISTRY = NullRegistry()

@@ -212,6 +212,14 @@ class FaultInjector:
         self.trace.append(
             FaultRecord(self.system.engine.now, kind, target, detail)
         )
+        # Mirror into the observability trace stream so chaos runs can
+        # correlate injected faults with the degradation they cause.
+        obs = self.system.cluster.obs
+        if obs.enabled:
+            obs.tracer.event(
+                "fault." + kind, target=target, detail=detail
+            )
+            obs.metrics.counter("faults_injected_total", kind=kind).inc()
 
     def trace_lines(self) -> list[str]:
         """The applied-fault log as canonical strings (seed-stable)."""

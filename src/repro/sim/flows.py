@@ -28,6 +28,8 @@ from repro.errors import SimulationError
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+    from repro.obs.tracing import Span
     from repro.sim.engine import SimulationEngine
 
 _EPSILON_BYTES = 1e-6
@@ -103,6 +105,12 @@ class Flow:
         self.rate = 0.0
         self.started_at = 0.0
         self.finished_at: float | None = None
+        #: Scheduler-assigned start order; the deterministic identity used
+        #: for completion ordering and trace correlation (labels may embed
+        #: process-global block ids, which are not stable across runs).
+        self.seq = 0
+        #: Trace span covering this transfer, when observability is on.
+        self.span: "Span | None" = None
 
     @property
     def duration(self) -> float:
@@ -121,8 +129,15 @@ class Flow:
 class FlowScheduler:
     """Runs the fluid model on top of a :class:`SimulationEngine`."""
 
-    def __init__(self, engine: "SimulationEngine") -> None:
+    def __init__(
+        self, engine: "SimulationEngine", obs: "Observability | None" = None
+    ) -> None:
         self.engine = engine
+        if obs is None:
+            from repro.obs import Observability
+
+            obs = Observability()  # disabled no-op bundle
+        self.obs = obs
         self.active: set[Flow] = set()
         self._last_update = engine.now
         self._wake_version = 0
@@ -133,18 +148,38 @@ class FlowScheduler:
     # Public API
     # ------------------------------------------------------------------
     def start_flow(
-        self, size: float, resources: Iterable[Resource], label: str = ""
+        self,
+        size: float,
+        resources: Iterable[Resource],
+        label: str = "",
+        parent: "Span | None" = None,
     ) -> Flow:
         """Begin transferring ``size`` bytes over ``resources``.
 
         Returns the flow; wait on ``flow.completed`` for the finish time.
-        A zero-byte flow completes immediately.
+        A zero-byte flow completes immediately. With observability on,
+        the transfer is covered by a ``flow.transfer`` span attached as
+        ``flow.span``; pass ``parent`` to link it to the client operation
+        that initiated it.
         """
         flow = Flow(size, list(resources), self.engine.event(), label=label)
         flow.started_at = self.engine.now
         self.total_flows_started += 1
+        flow.seq = self.total_flows_started
+        obs = self.obs
+        if obs.enabled:
+            flow.span = obs.tracer.start_span(
+                "flow.transfer",
+                parent=parent,
+                size=flow.size,
+                resources=len(flow.resources),
+            )
+            obs.metrics.counter("flows_started_total").inc()
         if flow.remaining <= _EPSILON_BYTES:
             flow.finished_at = self.engine.now
+            if flow.span is not None:
+                flow.span.end("ok")
+                obs.metrics.counter("flows_completed_total").inc()
             flow.completed.succeed(flow)
             return flow
         self._advance_progress()
@@ -161,14 +196,23 @@ class FlowScheduler:
         self._advance_progress()
         self._detach(flow)
         flow.finished_at = self.engine.now
+        if flow.span is not None:
+            flow.span.end("cancelled", transferred=flow.size - flow.remaining)
+            self.obs.metrics.counter("flows_cancelled_total").inc()
         flow.completed.fail(exception)
         self._reallocate()
 
     def transfer(
-        self, size: float, resources: Iterable[Resource], label: str = ""
+        self,
+        size: float,
+        resources: Iterable[Resource],
+        label: str = "",
+        parent: "Span | None" = None,
     ) -> Event:
         """Convenience: start a flow and return its completion event."""
-        return self.start_flow(size, resources, label=label).completed
+        return self.start_flow(
+            size, resources, label=label, parent=parent
+        ).completed
 
     def refresh(self) -> None:
         """Re-share bandwidth after an external capacity change.
@@ -218,6 +262,36 @@ class FlowScheduler:
         self._assign_rates()
         self._finish_done_flows()
         self._schedule_wakeup()
+        if self.obs.enabled:
+            self._sample_utilization()
+
+    def _sample_utilization(self) -> None:
+        """Record per-resource utilization after a rate change.
+
+        One sample per resource currently crossed by an active flow:
+        the demanded rate as a fraction of effective capacity, stamped
+        with the simulation time. Resources are visited in name order so
+        identical runs emit identical series.
+        """
+        metrics = self.obs.metrics
+        metrics.gauge("flows_active").set(len(self.active))
+        involved: dict[str, Resource] = {}
+        for flow in self.active:
+            for resource in flow.resources:
+                involved[resource.name] = resource
+        for name in sorted(involved):
+            resource = involved[name]
+            capacity = resource.effective_capacity()
+            # Sum in seq order: float addition is not associative, and
+            # set order varies run to run.
+            demand = sum(
+                flow.rate
+                for flow in sorted(resource.flows, key=lambda f: f.seq)
+                if flow.rate != math.inf
+            )
+            metrics.timeseries("resource_utilization", resource=name).sample(
+                demand / capacity if capacity > 0 else 0.0
+            )
 
     def _assign_rates(self) -> None:
         unassigned = set(self.active)
@@ -270,18 +344,29 @@ class FlowScheduler:
             pending_count[bottleneck_key] = 0
 
     def _finish_done_flows(self) -> None:
-        done = [
-            flow
-            for flow in self.active
-            if flow.remaining <= _EPSILON_BYTES
-            or flow.rate == math.inf
-            or (flow.rate > 0 and flow.remaining / flow.rate <= _MIN_DT)
-        ]
+        # Sorted by start order: simultaneous completions must resolve
+        # identically across runs (set order follows object ids), both
+        # for downstream event scheduling and for trace emission order.
+        done = sorted(
+            (
+                flow
+                for flow in self.active
+                if flow.remaining <= _EPSILON_BYTES
+                or flow.rate == math.inf
+                or (flow.rate > 0 and flow.remaining / flow.rate <= _MIN_DT)
+            ),
+            key=lambda flow: flow.seq,
+        )
+        obs = self.obs
         for flow in done:
             self._detach(flow)
             flow.remaining = 0.0
             flow.finished_at = self.engine.now
             self.total_bytes_completed += flow.size
+            if flow.span is not None:
+                flow.span.end("ok")
+                obs.metrics.counter("flows_completed_total").inc()
+                obs.metrics.counter("flow_bytes_total").inc(flow.size)
             flow.completed.succeed(flow)
         if done:
             self._assign_rates()

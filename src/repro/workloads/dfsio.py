@@ -105,6 +105,12 @@ class Dfsio:
         engine = self.system.engine
         start = engine.now
         base_bytes = self.system.cluster.flows.total_bytes_completed
+        obs = self.system.obs
+        if obs.enabled:
+            obs.tracer.event(
+                "workload.phase", workload="dfsio", phase="write",
+                state="start", tasks=parallelism,
+            )
 
         task_stats: list[tuple[int, float]] = []
 
@@ -129,6 +135,11 @@ class Dfsio:
         engine.run(done)
         elapsed = engine.now - start
         engine.run(sampler)
+        if obs.enabled:
+            obs.tracer.event(
+                "workload.phase", workload="dfsio", phase="write",
+                state="end", elapsed=elapsed,
+            )
         return DfsioResult(
             operation="write",
             files=parallelism,
@@ -150,6 +161,12 @@ class Dfsio:
         engine = self.system.engine
         start = engine.now
         base_bytes = self.system.cluster.flows.total_bytes_completed
+        obs = self.system.obs
+        if obs.enabled:
+            obs.tracer.event(
+                "workload.phase", workload="dfsio", phase="read",
+                state="start", tasks=parallelism,
+            )
         samples: list[tuple[float, float]] = []
         total = 0
         local_blocks = 0
@@ -188,6 +205,11 @@ class Dfsio:
         engine.run(done)
         elapsed = engine.now - start
         engine.run(sampler)
+        if obs.enabled:
+            obs.tracer.event(
+                "workload.phase", workload="dfsio", phase="read",
+                state="end", elapsed=elapsed,
+            )
         return DfsioResult(
             operation="read",
             files=parallelism,

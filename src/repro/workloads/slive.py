@@ -128,10 +128,19 @@ class SLive:
         ops_per_type: int = 2000,
         dirs: int = 50,
         seed: int = 0,
+        obs=None,
     ) -> None:
         self.ops_per_type = ops_per_type
         self.dirs = dirs
         self.seed = seed
+        if obs is None:
+            from repro.obs import Observability
+
+            obs = Observability()  # disabled no-op bundle
+        #: Optional :class:`~repro.obs.Observability`; S-Live is a pure
+        #: metadata benchmark with no simulation engine, so its metrics
+        #: are wall-clock-free counters and per-phase events.
+        self.obs = obs
 
     def run(self, adapter) -> SLiveResult:
         """Execute the full mix against one namesystem adapter.
@@ -166,8 +175,7 @@ class SLive:
         self._timed(result, "delete", renamed, adapter.delete)
         return result
 
-    @staticmethod
-    def _timed(result: SLiveResult, op: str, items, fn) -> None:
+    def _timed(self, result: SLiveResult, op: str, items, fn) -> None:
         start = time.perf_counter()
         for item in items:
             fn(item)
@@ -176,3 +184,12 @@ class SLive:
         result.ops_per_second[op] = (
             len(items) / elapsed if elapsed > 0 else float("inf")
         )
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "slive_ops_total", system=result.system, op=op
+            ).inc(len(items))
+            obs.tracer.event(
+                "workload.phase", workload="slive", system=result.system,
+                phase=op, ops=len(items),
+            )

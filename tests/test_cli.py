@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import validate_trace_records
 
 
 class TestParser:
@@ -58,3 +61,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rename" in out
         assert "overhead" in out
+
+
+class TestObservabilityFlags:
+    def test_report_json(self, capsys):
+        assert main(["report", "--deployment", "octopus", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["deployment"] == "octopus"
+        assert data["workers"] == 9
+        tiers = {t["tier"] for t in data["tiers"]}
+        assert {"MEMORY", "SSD", "HDD"} <= tiers
+        for tier in data["tiers"]:
+            assert tier["remaining"] <= tier["total_capacity"]
+
+    def test_dfsio_writes_metrics_and_trace(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "dfsio",
+                "--size", "128MB",
+                "--parallelism", "2",
+                "--metrics-out", str(metrics),
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {metrics}" in out
+        assert f"trace written to {trace}" in out
+        assert "# TYPE bytes_written_total counter" in metrics.read_text()
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records
+        assert validate_trace_records(records) == []
+
+    def test_dfsio_metrics_json_variant(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "dfsio",
+                "--size", "128MB",
+                "--parallelism", "2",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        data = json.loads(metrics.read_text())
+        names = {c["name"] for c in data["counters"]}
+        assert "bytes_written_total" in names
+
+    def test_slive_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "slive.jsonl"
+        assert main(["slive", "--ops", "50", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        phases = {
+            r["attrs"]["phase"] for r in records
+            if r["name"] == "workload.phase"
+        }
+        assert {"mkdir", "create", "open", "ls", "rename", "delete"} <= phases

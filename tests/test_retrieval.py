@@ -115,6 +115,60 @@ class TestOctopusRetrievalPolicy:
             firsts.add(ordered[0].medium_id)
         assert len(firsts) > 1  # not always the same head
 
+    def test_tie_break_deterministic_under_fixed_rng(self, cluster):
+        """Replicas with byte-equal estimated rates (Eq. 12 full ties)
+        order identically across same-seeded policies — the property the
+        observability layer's byte-identical exports lean on."""
+        replicas = [
+            medium(cluster, "worker2", "HDD"),
+            medium(cluster, "worker3", "HDD"),
+            medium(cluster, "worker4", "HDD"),
+        ]
+        client_node = cluster.node("worker1")
+        rates = {
+            estimate_transfer_rate(m, client_node) for m in replicas
+        }
+        assert len(rates) == 1  # genuinely a full tie
+        policy_a = OctopusRetrievalPolicy(DeterministicRng(42))
+        policy_b = OctopusRetrievalPolicy(DeterministicRng(42))
+        # The rng advances per call, so compare call-by-call sequences.
+        for _ in range(5):
+            ordered_a = policy_a.order_replicas(
+                replicas, client_node, cluster.topology
+            )
+            ordered_b = policy_b.order_replicas(
+                replicas, client_node, cluster.topology
+            )
+            assert [m.medium_id for m in ordered_a] == [
+                m.medium_id for m in ordered_b
+            ]
+
+    def test_partial_tie_break_falls_back_to_media_rate(self, cluster):
+        """When the NIC caps two replicas at the same estimated rate, the
+        raw media throughput breaks the tie without consulting the rng:
+        every seed must produce the same order."""
+        idle_mem = medium(cluster, "worker2", "MEMORY")
+        busy_mem = medium(cluster, "worker3", "MEMORY")
+        # One extra reader halves worker3's media rate (3224.8 -> 1612.4)
+        # but both still exceed the 1250 MB/s NIC: Eq. 12 ties.
+        load(busy_mem, 1)
+        client_node = cluster.node("worker1")
+        assert estimate_transfer_rate(
+            idle_mem, client_node
+        ) == estimate_transfer_rate(busy_mem, client_node)
+        orders = {
+            tuple(
+                m.node.name
+                for m in OctopusRetrievalPolicy(
+                    DeterministicRng(seed)
+                ).order_replicas(
+                    [busy_mem, idle_mem], client_node, cluster.topology
+                )
+            )
+            for seed in range(8)
+        }
+        assert orders == {("worker2", "worker3")}
+
     def test_permutation_invariant(self, cluster):
         replicas = [
             medium(cluster, "worker2", "HDD"),
