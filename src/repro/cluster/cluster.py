@@ -150,14 +150,16 @@ class Cluster:
             raise ConfigurationError(f"unknown medium: {medium_id}")
         medium = self.media[medium_id]
         medium.degrade(factor)
-        self.flows.refresh()
+        # Hint the changed channels so the incremental solver only
+        # revisits their connected components.
+        self.flows.refresh([medium.read_channel, medium.write_channel])
         return medium
 
     def cap_node_rate(self, name: str, factor: float) -> Node:
         """Cap a node's NIC to ``factor`` of baseline (slow-node fault)."""
         node = self.node(name)
         node.set_nic_factor(factor)
-        self.flows.refresh()
+        self.flows.refresh([node.nic_in, node.nic_out])
         return node
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -39,6 +39,7 @@ from repro.core.objectives import (
     global_criterion_score,
     ideal_vector,
     objective_vector,
+    prefix_scorer,
 )
 from repro.core.replication_vector import ReplicationVector
 from repro.errors import InsufficientStorageError, PlacementError
@@ -82,22 +83,37 @@ class ReplicaEntry:
     required_tier: str | None  # None == the paper's "U" entry
 
 
+#: Memo for :func:`expand_vector`. A workload places the same handful of
+#: replication vectors for every block, so the expansion is pure,
+#: tiny-keyed, and endlessly repeated. Bounded defensively; entries are
+#: frozen dataclasses shared across all returned lists.
+_EXPAND_CACHE: dict[tuple, tuple[ReplicaEntry, ...]] = {}
+_EXPAND_CACHE_LIMIT = 1024
+
+
 def expand_vector(vector: ReplicationVector, tier_rank: dict[str, int]) -> list[ReplicaEntry]:
     """Expand a replication vector into per-replica entries.
 
     Explicit tiers come first (fastest tier first, so the write pipeline
     head lands on the fastest requested medium, matching the paper's
     pipeline example ⟨W1,M⟩→⟨W3,H⟩→⟨W6,H⟩), then the U entries.
+    Memoized on ``(vector, tier_rank)``; both are value-hashable.
     """
-    entries: list[ReplicaEntry] = []
-    explicit = sorted(
-        vector.tier_counts.items(),
-        key=lambda item: tier_rank.get(item[0], len(tier_rank)),
-    )
-    for tier, count in explicit:
-        entries.extend(ReplicaEntry(tier) for _ in range(count))
-    entries.extend(ReplicaEntry(None) for _ in range(vector.unspecified))
-    return entries
+    key = (vector, tuple(sorted(tier_rank.items())))
+    cached = _EXPAND_CACHE.get(key)
+    if cached is None:
+        entries: list[ReplicaEntry] = []
+        explicit = sorted(
+            vector.tier_counts.items(),
+            key=lambda item: tier_rank.get(item[0], len(tier_rank)),
+        )
+        for tier, count in explicit:
+            entries.extend(ReplicaEntry(tier) for _ in range(count))
+        entries.extend(ReplicaEntry(None) for _ in range(vector.unspecified))
+        if len(_EXPAND_CACHE) >= _EXPAND_CACHE_LIMIT:
+            _EXPAND_CACHE.clear()
+        cached = _EXPAND_CACHE[key] = tuple(entries)
+    return list(cached)
 
 
 def solve_moop(
@@ -108,20 +124,34 @@ def solve_moop(
 ) -> "StorageMedium":
     """Algorithm 1: pick the option minimizing ``‖f − z*‖``.
 
-    ``chosen_media`` is mutated and restored around each evaluation, as
-    in the paper's pseudocode; ties keep the first (deterministic) option.
+    Ties keep the first (deterministic) option. The stock objectives are
+    scored through :func:`~repro.core.objectives.prefix_scorer`, which
+    hoists the chosen-prefix terms out of the per-option loop while
+    producing bit-identical scores; custom registered objectives fall
+    back to the paper's mutate-and-restore evaluation of
+    ``chosen_media``.
     """
     if not media_options:
         raise InsufficientStorageError("solve_moop called with no options")
     best_score = math.inf
     best_media: "StorageMedium | None" = None
-    for option in media_options:
-        chosen_media.append(option)
-        score = global_criterion_score(chosen_media, ctx, objectives)
-        chosen_media.pop()
-        if score < best_score:
-            best_score = score
-            best_media = option
+    scorer = prefix_scorer(chosen_media, ctx, objectives)
+    if scorer is not None:
+        for option in media_options:
+            score = scorer(option)
+            if score < best_score:
+                best_score = score
+                best_media = option
+    else:
+        # Custom registered objectives are not separable into prefix +
+        # option terms; keep the paper's mutate-and-restore evaluation.
+        for option in media_options:
+            chosen_media.append(option)
+            score = global_criterion_score(chosen_media, ctx, objectives)
+            chosen_media.pop()
+            if score < best_score:
+                best_score = score
+                best_media = option
     assert best_media is not None
     return best_media
 
@@ -131,16 +161,25 @@ def gen_options(
     request: PlacementRequest,
     chosen: Sequence["StorageMedium"],
     entry: ReplicaEntry,
+    pool: Sequence["StorageMedium"] | None = None,
 ) -> list["StorageMedium"]:
-    """Generate the pruned option list for the next replica (§3.3)."""
+    """Generate the pruned option list for the next replica (§3.3).
+
+    ``pool`` lets Algorithm 2 compute ``cluster.placeable_media()`` once
+    per placement instead of once per replica entry; nothing placed
+    mid-decision changes the pool (allocation happens after the whole
+    vector is resolved).
+    """
     placed = list(request.existing_replicas) + list(chosen)
     placed_ids = {m.medium_id for m in placed} | set(request.excluded_media)
 
     # Hard constraints: uniqueness, capacity, liveness (placeable
     # excludes decommissioning nodes), tier requirement.
+    if pool is None:
+        pool = cluster.placeable_media()
     options = [
         medium
-        for medium in cluster.placeable_media()
+        for medium in pool
         if medium.medium_id not in placed_ids
         and medium.remaining >= request.block_size
     ]
@@ -251,16 +290,19 @@ def place_replicas(
         )
     chosen: list["StorageMedium"] = []
     base = list(request.existing_replicas)
+    pool = cluster.placeable_media()
     for entry in entries:
         try:
-            options = gen_options(cluster, request, chosen, entry)
+            options = gen_options(cluster, request, chosen, entry, pool=pool)
         except InsufficientStorageError:
             if entry.required_tier is None:
                 raise
             # Requested tier is full: fall back to policy choice, like
             # HDFS storage-policy creation fallbacks. The replica still
             # gets placed; the tier preference degrades gracefully.
-            options = gen_options(cluster, request, chosen, ReplicaEntry(None))
+            options = gen_options(
+                cluster, request, chosen, ReplicaEntry(None), pool=pool
+            )
         if rng is not None:
             rng.shuffle(options)
         scored_against = base + chosen

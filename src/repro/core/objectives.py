@@ -180,6 +180,11 @@ _IDEALS: dict[str, Callable[[int, ObjectiveContext], float]] = {
     THROUGHPUT_MAX: ideal_throughput_maximization,
 }
 
+#: Frozen view of the stock registries; ``prefix_scorer`` only engages
+#: when the live entries still point at these exact functions.
+_BUILTIN_OBJECTIVES = dict(_OBJECTIVES)
+_BUILTIN_IDEALS = dict(_IDEALS)
+
 
 def register_objective(
     name: str,
@@ -225,3 +230,71 @@ def global_criterion_score(
     return math.sqrt(
         sum((a - z) ** 2 for a, z in zip(actual, ideal))
     )
+
+
+def prefix_scorer(
+    chosen: Sequence["StorageMedium"],
+    ctx: ObjectiveContext,
+    objectives: Sequence[str] = ALL_OBJECTIVES,
+) -> Callable[["StorageMedium"], float] | None:
+    """Hoisted scorer for ``global_criterion_score(chosen + [option])``.
+
+    Algorithm 1 evaluates every candidate option against the same chosen
+    prefix, so the prefix's partial sums (and fault tolerance's
+    tier/node/rack membership sets) can be computed once instead of per
+    option. The returned callable is **bit-identical** to appending the
+    option and calling :func:`global_criterion_score`: the stock
+    objectives accumulate left to right, so the prefix sum plus one more
+    term performs the exact same float operations in the same order.
+
+    Returns ``None`` when any requested objective (or its ideal) has
+    been replaced via :func:`register_objective` — custom formulas are
+    not separable, and the caller must fall back to the generic path.
+    """
+    for name in objectives:
+        if (
+            _OBJECTIVES.get(name) is not _BUILTIN_OBJECTIVES.get(name)
+            or _IDEALS.get(name) is not _BUILTIN_IDEALS.get(name)
+        ):
+            return None
+    count = len(chosen) + 1
+    ideal = ideal_vector(count, ctx, objectives)
+    block_size = ctx.block_size
+    # Prefix partial sums, accumulated exactly like the generic sums:
+    # sum() starts from int 0, throughput_maximization from float 0.0.
+    db_prefix = sum((m.remaining - block_size) / m.capacity for m in chosen)
+    lb_prefix = sum(1.0 / (m.nr_connections + 1) for m in chosen)
+    log_max = math.log(max(ctx.max_write_throughput, math.e))
+    tm_prefix = 0.0
+    for medium in chosen:
+        thru = max(ctx.write_throughput_of(medium), 1.0)
+        tm_prefix += math.log(thru) / log_max
+    tier_set = {m.tier_name for m in chosen}
+    node_set = {m.node for m in chosen}
+    rack_set = {m.node.rack for m in chosen}
+
+    def score(option: "StorageMedium") -> float:
+        total = 0.0
+        for index, name in enumerate(objectives):
+            if name == DATA_BALANCING:
+                actual = db_prefix + (option.remaining - block_size) / option.capacity
+            elif name == LOAD_BALANCING:
+                actual = lb_prefix + 1.0 / (option.nr_connections + 1)
+            elif name == FAULT_TOLERANCE:
+                nr_tiers = len(tier_set) + (option.tier_name not in tier_set)
+                nr_nodes = len(node_set) + (option.node not in node_set)
+                nr_racks = len(rack_set) + (option.node.rack not in rack_set)
+                tier_term = nr_tiers / min(count, ctx.total_tiers)
+                node_term = nr_nodes / min(count, ctx.total_nodes)
+                if ctx.total_racks == 1:
+                    rack_term = 1.0
+                else:
+                    rack_term = 1.0 / (abs(nr_racks - 2) + 1)
+                actual = tier_term + node_term + rack_term
+            else:  # THROUGHPUT_MAX (guaranteed by the registry check)
+                thru = max(ctx.write_throughput_of(option), 1.0)
+                actual = tm_prefix + math.log(thru) / log_max
+            total += (actual - ideal[index]) ** 2
+        return math.sqrt(total)
+
+    return score

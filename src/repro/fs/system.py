@@ -336,7 +336,7 @@ class OctopusFileSystem:
             raise WorkerError(f"unknown medium {medium_id!r}")
         medium.failed = False
         medium.degrade(1.0)
-        self.cluster.flows.refresh()
+        self.cluster.flows.refresh([medium.read_channel, medium.write_channel])
         worker = self.workers.get(medium.node.name)
         if worker is not None:
             for replica in worker.block_report():

@@ -16,7 +16,7 @@ paper's physical 10-node cluster:
   the :class:`FaultInjector` facade, all running as engine processes.
 """
 
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import SimulationEngine, TimerHandle
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.faults import (
     ChaosProcess,
@@ -25,16 +25,27 @@ from repro.sim.faults import (
     FaultRecord,
     FaultSchedule,
 )
-from repro.sim.flows import Flow, FlowScheduler, Resource
+from repro.sim.flows import (
+    DenseFlowSolver,
+    Flow,
+    FlowScheduler,
+    FlowSet,
+    IncrementalFlowSolver,
+    Resource,
+)
 
 __all__ = [
     "SimulationEngine",
+    "TimerHandle",
     "Event",
     "Timeout",
     "AllOf",
     "AnyOf",
     "Flow",
     "FlowScheduler",
+    "FlowSet",
+    "DenseFlowSolver",
+    "IncrementalFlowSolver",
     "Resource",
     "ChaosProcess",
     "FaultEvent",

@@ -5,6 +5,12 @@ Processes (generators driven by :class:`~repro.sim.engine.SimulationEngine`)
 ``yield`` events to suspend until the event triggers; the event's value
 becomes the result of the ``yield`` expression, and a failed event raises
 its exception inside the process.
+
+Events are allocation-light: the callback list is created lazily on the
+first ``add_callback`` (most flow-completion events have exactly one
+waiter, and many none), and the classes use ``__slots__`` — the
+simulator creates one event per transfer, timeout, and heartbeat, so
+this is a hot path at benchmark scale.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.engine import SimulationEngine
+    from repro.sim.engine import SimulationEngine, TimerHandle
 
 PENDING = "pending"
 SUCCEEDED = "succeeded"
@@ -24,9 +30,13 @@ FAILED = "failed"
 class Event:
     """A one-shot, waitable occurrence on the simulated timeline."""
 
+    __slots__ = ("engine", "callbacks", "_state", "_value", "_exception")
+
     def __init__(self, engine: "SimulationEngine") -> None:
         self.engine = engine
-        self.callbacks: list[Callable[["Event"], None]] = []
+        #: Lazily-created list of waiters; ``None`` until the first
+        #: ``add_callback`` (and again after the engine consumes them).
+        self.callbacks: list[Callable[["Event"], None]] | None = None
         self._state = PENDING
         self._value: Any = None
         self._exception: BaseException | None = None
@@ -74,12 +84,15 @@ class Event:
         self._state = state
         self._value = value
         self._exception = exception
-        self.engine._schedule_callbacks(self)
+        if self.callbacks:
+            self.engine._schedule_callbacks(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback(event)``; runs immediately if already triggered."""
         if self.triggered:
             self.engine._schedule_single_callback(self, callback)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
@@ -90,6 +103,8 @@ class Event:
 class Timeout(Event):
     """An event that succeeds ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay", "handle")
+
     def __init__(
         self, engine: "SimulationEngine", delay: float, value: Any = None
     ) -> None:
@@ -97,11 +112,15 @@ class Timeout(Event):
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(engine)
         self.delay = delay
-        engine._schedule_timeout(self, delay, value)
+        #: The underlying :class:`~repro.sim.engine.TimerHandle`; cancel
+        #: it to abandon the timeout without it ever firing.
+        self.handle: "TimerHandle" = engine._schedule_timeout(self, delay, value)
 
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, engine: "SimulationEngine", events: Iterable[Event]) -> None:
         super().__init__(engine)
@@ -120,6 +139,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds when all child events succeed; fails fast on any failure."""
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
@@ -133,6 +154,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Succeeds with the first child to succeed; fails if the first settles badly."""
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

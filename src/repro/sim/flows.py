@@ -6,23 +6,56 @@ uplinks, storage-media read/write channels). At any instant, every
 active flow receives a transfer rate computed by progressive filling
 (max–min fairness): the most contended resource caps the rates of the
 flows crossing it, those flows are frozen, the residual capacity is
-redistributed, and so on.
+redistributed, and so on. This flow-level ("fluid") approximation is
+the standard technique for simulating bandwidth sharing without
+packet-level detail, and it reproduces the concurrency phenomena the
+paper's evaluation depends on: a medium's throughput dividing among
+concurrent streams, NIC congestion growing with the degree of
+parallelism, and a pipeline's rate being set by its slowest stage (a
+pipeline write is a single flow crossing all stage resources).
 
-Whenever the set of active flows changes, the scheduler advances each
-flow's progress at its old rate, recomputes the allocation, and schedules
-the next flow completion. This flow-level ("fluid") approximation is the
-standard technique for simulating bandwidth sharing without packet-level
-detail, and it reproduces the concurrency phenomena the paper's
-evaluation depends on: a medium's throughput dividing among concurrent
-streams, NIC congestion growing with the degree of parallelism, and a
-pipeline's rate being set by its slowest stage (a pipeline write is a
-single flow crossing all stage resources).
+Incremental scheduling
+----------------------
+The scheduler maintains the flow↔resource bipartite graph explicitly
+(:class:`FlowSet` per resource, ``flow.resources`` per flow). When a
+flow starts, finishes, or is cancelled — or a capacity changes — only
+the **connected component** of the graph touched by the change can see
+different max–min rates: progressive filling never moves capacity
+between disconnected components. :class:`IncrementalFlowSolver`
+therefore re-fills just that component (found by BFS from the changed
+flows/resources — or the whole active set when it is small enough that
+the search would cost more than it saves), reusing cached rates
+everywhere else, while
+:class:`DenseFlowSolver` re-fills every active flow — the original
+O(events × flows × resources) behavior, kept behind a flag as an
+escape hatch and as the oracle for the differential equivalence tests.
+
+Both solvers share every other code path, and per-component filling is
+*bit-identical* to global filling (same subtraction arithmetic, same
+deterministic bottleneck order within a component), so the two produce
+identical simulated completion times and byte-identical trace/metrics
+exports — asserted by ``tests/test_flow_solver_equivalence.py``.
+
+Progress integration is lazy: each flow carries a ``last_advanced``
+timestamp and its remaining bytes are materialized only when its *rate
+value* actually changes (or it finishes), instead of sweeping every
+active flow on every event. Completions are tracked in a per-flow heap
+``(finish_time, seq, token, flow)`` with token-bump invalidation; the
+scheduler keeps exactly one cancellable engine timer parked at the
+heap minimum.
+
+Solver selection: ``FlowScheduler(..., solver="dense")`` or the
+``OCTOPUS_FLOW_SOLVER`` environment variable (default
+``"incremental"``).
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
-from typing import TYPE_CHECKING, Iterable, Sequence
+import os
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
@@ -30,13 +63,53 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
     from repro.obs.tracing import Span
-    from repro.sim.engine import SimulationEngine
+    from repro.sim.engine import SimulationEngine, TimerHandle
 
 _EPSILON_BYTES = 1e-6
 #: Minimum scheduling quantum: a flow within this of completion is done.
 #: Prevents Zeno loops where float residue (micro-bytes) would otherwise
 #: reschedule ever-smaller wakeups without the clock advancing.
 _MIN_DT = 1e-9
+
+#: Deterministic resource identity for tie-breaking and graph bookkeeping;
+#: creation order is stable across identically-seeded runs, unlike id().
+_resource_ids = itertools.count()
+
+
+class FlowSet:
+    """Insertion-ordered set of flows (a dict-backed ordered set).
+
+    Attach order equals ``flow.seq`` order, which gives two properties
+    the scheduler leans on: iteration is deterministic across runs
+    (``set`` iteration follows object addresses), and per-resource
+    demand sums no longer need an O(F log F) sort per sample.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict = {}
+
+    def add(self, flow) -> None:
+        self._items[flow] = None
+
+    def discard(self, flow) -> None:
+        self._items.pop(flow, None)
+
+    def __contains__(self, flow) -> bool:
+        return flow in self._items
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlowSet n={len(self._items)}>"
 
 
 class Resource:
@@ -60,8 +133,9 @@ class Resource:
         #: value on network resources reproduces the paper's observed
         #: throughput decline at high degrees of parallelism.
         self.congestion_overhead = float(congestion_overhead)
-        self.flows: set["Flow"] = set()
+        self.flows: FlowSet = FlowSet()
         self.bytes_served = 0.0
+        self._rid = next(_resource_ids)
 
     @property
     def active_count(self) -> int:
@@ -109,6 +183,13 @@ class Flow:
         #: for completion ordering and trace correlation (labels may embed
         #: process-global block ids, which are not stable across runs).
         self.seq = 0
+        #: Simulation time up to which ``remaining`` is materialized;
+        #: progress between ``last_advanced`` and now is implied by
+        #: ``rate`` and integrated only when the rate value changes.
+        self.last_advanced = 0.0
+        #: Invalidation token for completion-heap entries; bumped whenever
+        #: the flow's scheduled finish time stops being valid.
+        self._wake_token = 0
         #: Trace span covering this transfer, when observability is on.
         self.span: "Span | None" = None
 
@@ -126,11 +207,101 @@ class Flow:
         )
 
 
+class DenseFlowSolver:
+    """Re-fill every active flow on every change (the original behavior).
+
+    Kept as the escape hatch (``OCTOPUS_FLOW_SOLVER=dense``) and as the
+    oracle the differential tests compare the incremental solver against.
+    """
+
+    name = "dense"
+
+    def __init__(self, scheduler: "FlowScheduler") -> None:
+        self.scheduler = scheduler
+
+    def select(
+        self, seed_flows: Iterable[Flow], seed_resources: Iterable[Resource]
+    ) -> list[Flow]:
+        return list(self.scheduler.active)
+
+
+class IncrementalFlowSolver:
+    """Re-fill only the connected component touched by a change.
+
+    Max–min filling never moves capacity between disconnected components
+    of the flow↔resource graph, so flows outside the component provably
+    keep their cached rates.
+
+    Below :attr:`small_cutoff` active flows the BFS bookkeeping costs
+    more than a full fill saves, so the solver falls back to filling
+    everything — still exact, since the full active set is a union of
+    components and filling a union fills each component independently.
+    """
+
+    name = "incremental"
+
+    #: Hybrid threshold: with at most this many active flows, skip the
+    #: component search and re-fill the whole active set.
+    small_cutoff = 16
+
+    def __init__(self, scheduler: "FlowScheduler") -> None:
+        self.scheduler = scheduler
+
+    def select(
+        self, seed_flows: Iterable[Flow], seed_resources: Iterable[Resource]
+    ) -> list[Flow]:
+        active = self.scheduler.active
+        if len(active) <= self.small_cutoff:
+            return list(active)
+        component: list[Flow] = []
+        seen_flows: set[Flow] = set()
+        seen_resources: set[int] = set()
+        flow_frontier: list[Flow] = []
+        resource_frontier: list[Resource] = []
+        for resource in seed_resources:
+            if resource._rid not in seen_resources:
+                seen_resources.add(resource._rid)
+                resource_frontier.append(resource)
+        for flow in seed_flows:
+            if flow in active and flow not in seen_flows:
+                seen_flows.add(flow)
+                component.append(flow)
+                flow_frontier.append(flow)
+        while flow_frontier or resource_frontier:
+            while flow_frontier:
+                flow = flow_frontier.pop()
+                for resource in flow.resources:
+                    if resource._rid not in seen_resources:
+                        seen_resources.add(resource._rid)
+                        resource_frontier.append(resource)
+            while resource_frontier:
+                resource = resource_frontier.pop()
+                for flow in resource.flows:
+                    if flow not in seen_flows and flow in active:
+                        seen_flows.add(flow)
+                        component.append(flow)
+                        flow_frontier.append(flow)
+        return component
+
+
+SOLVERS = {
+    DenseFlowSolver.name: DenseFlowSolver,
+    IncrementalFlowSolver.name: IncrementalFlowSolver,
+}
+
+
+def _seq_key(flow: Flow) -> int:
+    return flow.seq
+
+
 class FlowScheduler:
     """Runs the fluid model on top of a :class:`SimulationEngine`."""
 
     def __init__(
-        self, engine: "SimulationEngine", obs: "Observability | None" = None
+        self,
+        engine: "SimulationEngine",
+        obs: "Observability | None" = None,
+        solver: str | None = None,
     ) -> None:
         self.engine = engine
         if obs is None:
@@ -138,11 +309,27 @@ class FlowScheduler:
 
             obs = Observability()  # disabled no-op bundle
         self.obs = obs
-        self.active: set[Flow] = set()
-        self._last_update = engine.now
-        self._wake_version = 0
+        self.active: FlowSet = FlowSet()
         self.total_flows_started = 0
         self.total_bytes_completed = 0.0
+        #: Rate assignments performed by progressive filling; the perf
+        #: tests use this to show the incremental solver does less work.
+        self.rate_computations = 0
+        #: Pending completions: ``(finish_time, seq, token, flow)``.
+        #: Entries whose token no longer matches ``flow._wake_token`` are
+        #: stale and skipped on pop (token-bump lazy invalidation).
+        self._completions: list[tuple[float, int, int, Flow]] = []
+        self._wake_handle: "TimerHandle | None" = None
+        self._wake_time = math.inf
+        name = solver or os.environ.get("OCTOPUS_FLOW_SOLVER", "incremental")
+        try:
+            solver_cls = SOLVERS[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown flow solver {name!r}; options: {sorted(SOLVERS)}"
+            ) from None
+        self.solver = solver_cls(self)
+        self.solver_name = name
 
     # ------------------------------------------------------------------
     # Public API
@@ -163,7 +350,9 @@ class FlowScheduler:
         that initiated it.
         """
         flow = Flow(size, list(resources), self.engine.event(), label=label)
-        flow.started_at = self.engine.now
+        now = self.engine.now
+        flow.started_at = now
+        flow.last_advanced = now
         self.total_flows_started += 1
         flow.seq = self.total_flows_started
         obs = self.obs
@@ -176,31 +365,30 @@ class FlowScheduler:
             )
             obs.metrics.counter("flows_started_total").inc()
         if flow.remaining <= _EPSILON_BYTES:
-            flow.finished_at = self.engine.now
+            flow.finished_at = now
             if flow.span is not None:
                 flow.span.end("ok")
                 obs.metrics.counter("flows_completed_total").inc()
             flow.completed.succeed(flow)
             return flow
-        self._advance_progress()
         self.active.add(flow)
         for resource in flow.resources:
             resource.flows.add(flow)
-        self._reallocate()
+        self._reallocate(seed_flows=(flow,))
         return flow
 
     def cancel_flow(self, flow: Flow, exception: BaseException) -> None:
         """Abort an in-flight flow; its waiter sees ``exception``."""
         if flow not in self.active:
             return
-        self._advance_progress()
+        self._materialize(flow)
         self._detach(flow)
         flow.finished_at = self.engine.now
         if flow.span is not None:
             flow.span.end("cancelled", transferred=flow.size - flow.remaining)
             self.obs.metrics.counter("flows_cancelled_total").inc()
         flow.completed.fail(exception)
-        self._reallocate()
+        self._reallocate(seed_resources=flow.resources)
 
     def transfer(
         self,
@@ -214,16 +402,20 @@ class FlowScheduler:
             size, resources, label=label, parent=parent
         ).completed
 
-    def refresh(self) -> None:
+    def refresh(self, resources: Iterable[Resource] | None = None) -> None:
         """Re-share bandwidth after an external capacity change.
 
         Fault injection (medium degradation, NIC rate caps) rewrites
         ``Resource.capacity`` while flows are in flight; calling this
-        integrates progress at the old rates and recomputes the max–min
-        allocation under the new capacities.
+        recomputes the max–min allocation under the new capacities.
+        Pass the changed ``resources`` as a hint so the incremental
+        solver only revisits their connected components; with no hint,
+        every component is recomputed.
         """
-        self._advance_progress()
-        self._reallocate()
+        if resources is None:
+            self._reallocate(seed_flows=self.active)
+        else:
+            self._reallocate(seed_resources=resources)
 
     def set_capacity(self, resource: Resource, capacity: float) -> None:
         """Change one resource's capacity and re-share immediately."""
@@ -231,39 +423,226 @@ class FlowScheduler:
             raise SimulationError(
                 f"resource {resource.name!r} needs capacity > 0"
             )
-        self._advance_progress()
         resource.capacity = float(capacity)
-        self._reallocate()
+        self._reallocate(seed_resources=(resource,))
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _detach(self, flow: Flow) -> None:
         self.active.discard(flow)
+        flow._wake_token += 1
         for resource in flow.resources:
             resource.flows.discard(flow)
 
-    def _advance_progress(self) -> None:
-        """Integrate every active flow forward at its current rate."""
+    def _materialize(self, flow: Flow) -> None:
+        """Integrate the flow's progress from ``last_advanced`` to now.
+
+        Called exactly when the flow's rate value changes (or it leaves
+        the system), so both solvers accumulate the same float chunks at
+        the same simulation times — the key to bit-identical results.
+        """
         now = self.engine.now
-        elapsed = now - self._last_update
-        self._last_update = now
+        elapsed = now - flow.last_advanced
+        flow.last_advanced = now
         if elapsed <= 0:
             return
-        for flow in self.active:
-            moved = flow.rate * elapsed
-            flow.remaining = max(0.0, flow.remaining - moved)
-            share = moved / max(1, len(flow.resources))
-            for resource in flow.resources:
-                resource.bytes_served += share
+        moved = flow.rate * elapsed
+        flow.remaining = max(0.0, flow.remaining - moved)
+        share = moved / max(1, len(flow.resources))
+        for resource in flow.resources:
+            resource.bytes_served += share
 
-    def _reallocate(self) -> None:
-        """Recompute max–min fair rates and schedule the next completion."""
-        self._assign_rates()
-        self._finish_done_flows()
+    def _reallocate(
+        self,
+        seed_flows: Iterable[Flow] = (),
+        seed_resources: Iterable[Resource] = (),
+    ) -> None:
+        """Recompute rates for the touched component(s); cascade finishes.
+
+        Flows whose new rate puts them within :data:`_MIN_DT` of
+        completion finish immediately (in ``seq`` order), and their
+        resources seed another round, mirroring the dense solver's
+        finish-then-refill recursion.
+        """
+        while True:
+            fill = self.solver.select(seed_flows, seed_resources)
+            changed = self._fill_rates(fill)
+            due: list[Flow] = []
+            for flow in changed:
+                rate = flow.rate
+                if (
+                    flow.remaining <= _EPSILON_BYTES
+                    or rate == math.inf
+                    or (rate > 0 and flow.remaining / rate <= _MIN_DT)
+                ):
+                    due.append(flow)
+                else:
+                    flow._wake_token += 1
+                    if rate > 0:
+                        heapq.heappush(
+                            self._completions,
+                            (
+                                self.engine.now + flow.remaining / rate,
+                                flow.seq,
+                                flow._wake_token,
+                                flow,
+                            ),
+                        )
+                    # A zero-rate flow waits with no completion entry; if
+                    # nothing else is in flight the wakeup check below
+                    # reports the deadlock.
+            if not due:
+                break
+            due.sort(key=_seq_key)
+            touched: dict[int, Resource] = {}
+            for flow in due:
+                self._finish_flow(flow)
+                for resource in flow.resources:
+                    touched[resource._rid] = resource
+            seed_flows = ()
+            seed_resources = list(touched.values())
         self._schedule_wakeup()
         if self.obs.enabled:
             self._sample_utilization()
+
+    def _fill_rates(self, fill_flows: Iterable[Flow]) -> list[Flow]:
+        """Progressive filling over ``fill_flows``; returns rate-changed flows.
+
+        Bottleneck selection uses a lazily-verified candidate heap keyed
+        ``(share, name, rid)``: a fresh entry is pushed every time a
+        resource's residual capacity or pending count changes, and an
+        entry is trusted on pop only if it still matches the live value.
+        This preserves the exact deterministic min-by-(share, name)
+        choice of the original O(rounds × resources) scan.
+        """
+        changed: list[Flow] = []
+        unassigned: set[Flow] = set()
+        remaining_cap: dict[int, float] = {}
+        pending_count: dict[int, int] = {}
+        resources: dict[int, Resource] = {}
+        free_flows: list[Flow] = []
+        for flow in fill_flows:
+            if not flow.resources:
+                free_flows.append(flow)
+                continue
+            unassigned.add(flow)
+            for resource in flow.resources:
+                rid = resource._rid
+                if rid in resources:
+                    pending_count[rid] += 1
+                else:
+                    resources[rid] = resource
+                    remaining_cap[rid] = resource.effective_capacity()
+                    pending_count[rid] = 1
+        # Flows crossing no resources are effectively local no-cost copies.
+        for flow in free_flows:
+            self._set_rate(flow, math.inf, changed)
+        candidates = [
+            (remaining_cap[rid] / pending_count[rid], resource.name, rid)
+            for rid, resource in resources.items()
+        ]
+        heapq.heapify(candidates)
+        while unassigned:
+            while candidates:
+                share, _name, rid = heapq.heappop(candidates)
+                count = pending_count[rid]
+                if count > 0 and remaining_cap[rid] / count == share:
+                    break
+            else:
+                raise SimulationError("flow without any capacitated resource")
+            bottleneck = resources[rid]
+            frozen = [flow for flow in bottleneck.flows if flow in unassigned]
+            for flow in frozen:
+                self._set_rate(flow, share, changed)
+                unassigned.discard(flow)
+                for resource in flow.resources:
+                    other = resource._rid
+                    if other == rid:
+                        continue
+                    remaining_cap[other] -= share
+                    count = pending_count[other] - 1
+                    pending_count[other] = count
+                    if count > 0:
+                        heapq.heappush(
+                            candidates,
+                            (remaining_cap[other] / count, resource.name, other),
+                        )
+            pending_count[rid] = 0
+        return changed
+
+    def _set_rate(self, flow: Flow, rate: float, changed: list[Flow]) -> None:
+        self.rate_computations += 1
+        if rate == flow.rate:
+            return  # cached rate still exact; no materialization point
+        self._materialize(flow)
+        flow.rate = rate
+        changed.append(flow)
+
+    def _finish_flow(self, flow: Flow) -> None:
+        self._materialize(flow)
+        self._detach(flow)
+        flow.remaining = 0.0
+        flow.finished_at = self.engine.now
+        self.total_bytes_completed += flow.size
+        if flow.span is not None:
+            flow.span.end("ok")
+            self.obs.metrics.counter("flows_completed_total").inc()
+            self.obs.metrics.counter("flow_bytes_total").inc(flow.size)
+        flow.completed.succeed(flow)
+
+    def _next_completion(self) -> float | None:
+        """Earliest valid completion time; purges stale heap heads."""
+        heap = self._completions
+        while heap:
+            _when, _seq, token, flow = heap[0]
+            if token != flow._wake_token or flow not in self.active:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
+
+    def _schedule_wakeup(self) -> None:
+        when = self._next_completion()
+        if when is None:
+            if self.active:
+                raise SimulationError("active flow has zero rate; deadlock")
+            if self._wake_handle is not None:
+                self._wake_handle.cancel()
+                self._wake_handle = None
+                self._wake_time = math.inf
+            return
+        if self._wake_handle is not None:
+            if self._wake_time == when:
+                return  # the parked timer is already right
+            self._wake_handle.cancel()
+        self._wake_handle = self.engine.call_at(when, self._on_wakeup)
+        self._wake_time = when
+
+    def _on_wakeup(self) -> None:
+        self._wake_handle = None
+        self._wake_time = math.inf
+        now = self.engine.now
+        heap = self._completions
+        due: list[Flow] = []
+        while heap:
+            when, _seq, token, flow = heap[0]
+            if token != flow._wake_token or flow not in self.active:
+                heapq.heappop(heap)
+                continue
+            if when > now:
+                break
+            heapq.heappop(heap)
+            due.append(flow)  # heap order is (time, seq): ties resolve by seq
+        if not due:
+            self._schedule_wakeup()
+            return
+        touched: dict[int, Resource] = {}
+        for flow in due:
+            self._finish_flow(flow)
+            for resource in flow.resources:
+                touched[resource._rid] = resource
+        self._reallocate(seed_resources=list(touched.values()))
 
     def _sample_utilization(self) -> None:
         """Record per-resource utilization after a rate change.
@@ -271,7 +650,8 @@ class FlowScheduler:
         One sample per resource currently crossed by an active flow:
         the demanded rate as a fraction of effective capacity, stamped
         with the simulation time. Resources are visited in name order so
-        identical runs emit identical series.
+        identical runs emit identical series; per-resource demand sums
+        in attach (= seq) order because :class:`FlowSet` preserves it.
         """
         metrics = self.obs.metrics
         metrics.gauge("flows_active").set(len(self.active))
@@ -282,111 +662,11 @@ class FlowScheduler:
         for name in sorted(involved):
             resource = involved[name]
             capacity = resource.effective_capacity()
-            # Sum in seq order: float addition is not associative, and
-            # set order varies run to run.
-            demand = sum(
-                flow.rate
-                for flow in sorted(resource.flows, key=lambda f: f.seq)
-                if flow.rate != math.inf
-            )
+            demand = 0.0
+            for flow in resource.flows:
+                rate = flow.rate
+                if rate != math.inf:
+                    demand += rate
             metrics.timeseries("resource_utilization", resource=name).sample(
                 demand / capacity if capacity > 0 else 0.0
             )
-
-    def _assign_rates(self) -> None:
-        unassigned = set(self.active)
-        if not unassigned:
-            return
-        remaining_cap: dict[int, float] = {}
-        pending_count: dict[int, int] = {}
-        resources: dict[int, Resource] = {}
-        for flow in unassigned:
-            for resource in flow.resources:
-                key = id(resource)
-                resources[key] = resource
-                remaining_cap.setdefault(key, resource.effective_capacity())
-                pending_count[key] = pending_count.get(key, 0) + 1
-        # Flows crossing no resources are effectively local no-cost copies.
-        for flow in [f for f in unassigned if not f.resources]:
-            flow.rate = math.inf
-            unassigned.discard(flow)
-        while unassigned:
-            bottleneck_key = None
-            bottleneck_share = math.inf
-            for key, count in pending_count.items():
-                if count <= 0:
-                    continue
-                share = remaining_cap[key] / count
-                # Deterministic tie-break on resource name.
-                if share < bottleneck_share or (
-                    share == bottleneck_share
-                    and bottleneck_key is not None
-                    and resources[key].name < resources[bottleneck_key].name
-                ):
-                    bottleneck_share = share
-                    bottleneck_key = key
-            if bottleneck_key is None:
-                raise SimulationError("flow without any capacitated resource")
-            frozen = [
-                flow
-                for flow in resources[bottleneck_key].flows
-                if flow in unassigned
-            ]
-            for flow in frozen:
-                flow.rate = bottleneck_share
-                unassigned.discard(flow)
-                for resource in flow.resources:
-                    key = id(resource)
-                    if key == bottleneck_key:
-                        continue
-                    remaining_cap[key] -= bottleneck_share
-                    pending_count[key] -= 1
-            pending_count[bottleneck_key] = 0
-
-    def _finish_done_flows(self) -> None:
-        # Sorted by start order: simultaneous completions must resolve
-        # identically across runs (set order follows object ids), both
-        # for downstream event scheduling and for trace emission order.
-        done = sorted(
-            (
-                flow
-                for flow in self.active
-                if flow.remaining <= _EPSILON_BYTES
-                or flow.rate == math.inf
-                or (flow.rate > 0 and flow.remaining / flow.rate <= _MIN_DT)
-            ),
-            key=lambda flow: flow.seq,
-        )
-        obs = self.obs
-        for flow in done:
-            self._detach(flow)
-            flow.remaining = 0.0
-            flow.finished_at = self.engine.now
-            self.total_bytes_completed += flow.size
-            if flow.span is not None:
-                flow.span.end("ok")
-                obs.metrics.counter("flows_completed_total").inc()
-                obs.metrics.counter("flow_bytes_total").inc(flow.size)
-            flow.completed.succeed(flow)
-        if done:
-            self._assign_rates()
-            self._finish_done_flows()
-
-    def _schedule_wakeup(self) -> None:
-        self._wake_version += 1
-        if not self.active:
-            return
-        horizon = min(
-            flow.remaining / flow.rate if flow.rate > 0 else math.inf
-            for flow in self.active
-        )
-        if horizon is math.inf:
-            raise SimulationError("active flow has zero rate; deadlock")
-        version = self._wake_version
-        self.engine.call_in(max(horizon, _MIN_DT), lambda: self._on_wakeup(version))
-
-    def _on_wakeup(self, version: int) -> None:
-        if version != self._wake_version:
-            return  # superseded by a newer allocation
-        self._advance_progress()
-        self._reallocate()

@@ -207,3 +207,82 @@ def test_yielding_non_event_fails_process():
     proc = engine.process(bad(engine))
     with pytest.raises(SimulationError, match="must yield Event"):
         engine.run(proc)
+
+
+# ----------------------------------------------------------------------
+# Timer handles, cancellation, and the slot-based fast path
+# ----------------------------------------------------------------------
+class TestTimerHandles:
+    def test_call_in_returns_cancellable_handle(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.call_in(1.0, lambda: fired.append("a"))
+        engine.call_in(2.0, lambda: fired.append("b"))
+        handle.cancel()
+        engine.run()
+        assert fired == ["b"]
+        assert engine.now == 2.0
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.call_in(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+        assert handle.cancelled
+
+    def test_callback_arg_slot_avoids_closures(self):
+        engine = SimulationEngine()
+        got = []
+        engine.call_in(1.0, got.append, "payload")
+        engine.run()
+        assert got == ["payload"]
+
+    def test_call_at_rejects_past(self):
+        engine = SimulationEngine()
+        engine.call_in(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(1.0, lambda: None)
+
+    def test_run_until_skips_cancelled_heads(self):
+        """A cancelled entry before the deadline must not execute, and
+        must not stall the deadline fast-forward."""
+        engine = SimulationEngine()
+        fired = []
+        early = engine.call_in(1.0, lambda: fired.append("early"))
+        engine.call_in(20.0, lambda: fired.append("late"))
+        early.cancel()
+        engine.run(until=10.0)
+        assert fired == []
+        assert engine.now == 10.0
+        engine.run()
+        assert fired == ["late"]
+
+    def test_events_processed_counts_only_live_callbacks(self):
+        engine = SimulationEngine()
+        for index in range(4):
+            handle = engine.call_in(float(index + 1), lambda: None)
+            if index % 2:
+                handle.cancel()
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_mass_cancellation_compacts_heap(self):
+        engine = SimulationEngine()
+        handles = [engine.call_in(float(i + 1), lambda: None) for i in range(300)]
+        for handle in handles[:299]:
+            handle.cancel()
+        # Compaction policy: > 64 cancelled and more than half the heap.
+        assert len(engine._heap) < 300
+        engine.run()
+        assert engine.now == 300.0
+
+    def test_timeout_handle_cancellation_abandons_timeout(self):
+        engine = SimulationEngine()
+        timeout = engine.timeout(5.0)
+        engine.call_in(1.0, lambda: None)
+        timeout.handle.cancel()
+        engine.run()
+        assert engine.now == 1.0
+        assert not timeout.triggered

@@ -270,3 +270,67 @@ class TestSchedulerCounters:
         flow = sched.start_flow(10.0, [link])
         engine.run()
         sched.cancel_flow(flow, RuntimeError("late"))  # already done
+
+
+# ----------------------------------------------------------------------
+# Incremental scheduling specifics
+# ----------------------------------------------------------------------
+def test_refresh_hint_matches_full_refresh():
+    """A targeted refresh([resource]) must re-share exactly like the
+    hint-less full refresh."""
+
+    def run(hinted):
+        engine, sched = make_sched()
+        link = Resource("link", capacity=100.0)
+        flow = sched.start_flow(1000.0, [link])
+
+        def fault(engine, sched):
+            yield engine.timeout(5.0)
+            link.capacity = 50.0
+            sched.refresh([link] if hinted else None)
+
+        engine.process(fault(engine, sched))
+        engine.run()
+        return flow.finished_at
+
+    assert run(hinted=True) == run(hinted=False)
+
+
+def test_progress_is_materialized_lazily():
+    """Between rate changes, ``remaining`` stays untouched; the truth is
+    ``last_advanced`` plus the cached rate."""
+    engine, sched = make_sched()
+    link = Resource("link", capacity=100.0)
+    flow = sched.start_flow(1000.0, [link])
+    engine.run(until=5.0)
+    assert flow.remaining == 1000.0  # not swept per event
+    assert flow.last_advanced == 0.0
+    assert flow.rate == pytest.approx(100.0)
+    # A rate change materializes the elapsed progress.
+    sched.set_capacity(link, 50.0)
+    assert flow.remaining == pytest.approx(500.0)
+    assert flow.last_advanced == 5.0
+    engine.run()
+    assert flow.finished_at == pytest.approx(15.0)
+
+
+def test_superseded_wakeups_are_cancelled_not_leaked():
+    """Restarting flows reschedules the single parked wakeup timer
+    instead of abandoning stale heap entries."""
+    engine, sched = make_sched()
+    link = Resource("link", capacity=100.0)
+    flows = [sched.start_flow(1000.0, [link]) for _ in range(50)]
+    # One valid parked wakeup; every superseded one was cancelled.
+    live = [entry for entry in engine._heap if not entry[2].cancelled]
+    assert len(live) == 1
+    engine.run()
+    assert all(flow.completed.ok for flow in flows)
+
+
+def test_resource_flow_sets_preserve_attach_order():
+    engine, sched = make_sched()
+    link = Resource("link", capacity=100.0)
+    flows = [sched.start_flow(1000.0, [link]) for _ in range(4)]
+    assert [f.seq for f in link.flows] == [f.seq for f in flows]
+    sched.cancel_flow(flows[1], RuntimeError("x"))
+    assert [f.seq for f in link.flows] == [flows[0].seq, flows[2].seq, flows[3].seq]
