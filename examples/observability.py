@@ -13,7 +13,10 @@ Demonstrates `repro.obs` (see docs/OBSERVABILITY.md):
    per-resource utilization time series;
 4. **exporters** — write the JSONL event log, the Prometheus text
    exposition, and the per-tier utilization table to
-   ``observability-out/``.
+   ``observability-out/``;
+5. **analysis** — reconstruct the span DAG from the exported JSONL,
+   print each request's critical path, and emit a Chrome/Perfetto trace
+   (load ``observability-out/trace.chrome.json`` at ui.perfetto.dev).
 
 Run:  python examples/observability.py
 """
@@ -23,9 +26,14 @@ import os
 from repro import OctopusFileSystem
 from repro.cluster import small_cluster_spec
 from repro.obs import (
+    analyze_trace,
+    critical_path,
     prometheus_text,
+    read_trace_file,
     tier_utilization_rows,
+    validate_chrome_trace,
     validate_trace_records,
+    write_chrome_trace,
     write_jsonl,
     write_metrics,
 )
@@ -114,6 +122,26 @@ def main() -> None:
     print("   first Prometheus lines:")
     for line in prometheus_text(fs.obs.metrics).splitlines()[:4]:
         print("    ", line)
+
+    # ----------------------------------------------------------- analysis
+    print("5. analyzing the exported trace")
+    trace = read_trace_file(trace_path)
+    assert trace.problems == []
+    for root in trace.requests()[:3]:
+        segments = critical_path(root)
+        hops = " -> ".join(
+            f"{s.span.name}:{s.duration:.3f}s" for s in segments
+        )
+        print(f"   {root.name} ({root.duration:.3f}s): {hops}")
+    analysis = analyze_trace(trace)
+    slowest = analysis["stragglers"][0]
+    print(f"   slowest span: {slowest['name']} at {slowest['duration']:.3f}s "
+          f"({slowest['concurrent_flows']} concurrent flows)")
+    chrome_path = os.path.join(OUT_DIR, "trace.chrome.json")
+    document = write_chrome_trace(fs.obs.tracer.records, chrome_path)
+    assert validate_chrome_trace(document) == []
+    print(f"   trace.chrome.json ({len(document['traceEvents'])} events) — "
+          "load it at ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -6,4 +6,11 @@ that regenerates it; ``benchmarks/`` wires those into pytest-benchmark.
 
 from repro.bench.deployments import build_deployment, DEPLOYMENTS
 
-__all__ = ["build_deployment", "DEPLOYMENTS"]
+# The perf-regression gate lives in repro.bench.regression; it is not
+# re-exported here so `python -m repro.bench.regression` stays free of
+# the double-import RuntimeWarning.
+
+__all__ = [
+    "build_deployment",
+    "DEPLOYMENTS",
+]

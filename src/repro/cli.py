@@ -18,6 +18,12 @@ Commands
 
     python -m repro report --deployment octopus
 
+``analyze`` — post-process an exported JSONL trace: critical paths,
+flame/self-time aggregates, per-tier latency percentiles, stragglers,
+and Chrome/Perfetto trace export::
+
+    python -m repro analyze trace.jsonl --chrome-out trace.chrome.json
+
 ``list`` — show the available experiments and deployment presets.
 """
 
@@ -33,7 +39,17 @@ from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.tables import format_table
 from repro.cluster.spec import paper_cluster_spec
 from repro.core.replication_vector import ReplicationVector
-from repro.obs import tier_report_data, write_jsonl, write_metrics
+from repro.obs import (
+    ObsCapture,
+    analysis_json,
+    analyze_trace,
+    read_trace_file,
+    tier_report_data,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.analyze import TraceParseError
 from repro.util.units import format_bytes, format_rate, parse_bytes
 from repro.workloads.dfsio import Dfsio
 from repro.workloads.slive import (
@@ -54,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
     exp.add_argument("--scale", type=float, default=0.2)
     exp.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(exp)
 
     dfsio = sub.add_parser("dfsio", help="run the DFSIO I/O benchmark")
     dfsio.add_argument("--size", default="10GB")
@@ -80,6 +97,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--json", action="store_true",
         help="emit the report as machine-readable JSON",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze an exported JSONL trace"
+    )
+    analyze.add_argument("trace", metavar="TRACE.jsonl")
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the full analysis as canonical JSON",
+    )
+    analyze.add_argument(
+        "--chrome-out", default=None, metavar="PATH",
+        help="also export a Chrome/Perfetto trace-event JSON file "
+        "(viewable at ui.perfetto.dev)",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest requests/stragglers to report (default 5)",
+    )
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on malformed lines or schema problems "
+        "instead of skipping them",
     )
 
     sub.add_parser("list", help="list experiments and deployments")
@@ -122,6 +162,27 @@ def _parse_vector(text: str | None) -> ReplicationVector | int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     module = ALL_EXPERIMENTS[args.name]
+    if args.metrics_out or args.trace_out:
+        # Experiments build their deployments internally (often several
+        # per run); the capture scope enables observability on each one
+        # and merges the telemetry on export.
+        with ObsCapture() as capture:
+            result = module.run(scale=args.scale, seed=args.seed)
+        print(result.format())
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(
+                    capture.metrics_text(
+                        as_json=args.metrics_out.endswith(".json")
+                    )
+                )
+            print(f"metrics written to {args.metrics_out} "
+                  f"({len(capture.captured)} deployment(s))")
+        if args.trace_out:
+            write_jsonl(capture.merged_trace_records(), args.trace_out)
+            print(f"trace written to {args.trace_out} "
+                  f"({len(capture.captured)} deployment(s))")
+        return 0
     result = module.run(scale=args.scale, seed=args.seed)
     print(result.format())
     return 0
@@ -193,9 +254,17 @@ def cmd_slive(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     spec = paper_cluster_spec(racks=args.racks, workers=args.workers)
-    fs = build_deployment(args.deployment, spec=spec)
+    with ObsCapture():
+        # Observability is on from construction, so the metrics snapshot
+        # covers anything instrumented during cluster/FS bring-up.
+        fs = build_deployment(args.deployment, spec=spec)
     if args.json:
-        data = {"deployment": args.deployment, **tier_report_data(fs)}
+        data = {
+            "deployment": args.deployment,
+            **tier_report_data(fs),
+            "engine": {"events_processed": fs.engine.events_processed},
+            "metrics": fs.obs.metrics.snapshot(),
+        }
         print(json.dumps(data, sort_keys=True, indent=2))
         return 0
     print(f"deployment: {args.deployment}")
@@ -224,6 +293,139 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_seconds(value: float | None) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+def _print_analysis_text(analysis: dict, top: int) -> None:
+    summary = analysis["summary"]
+    time_range = summary["time_range"]
+    window = (
+        f"{time_range[0]:.3f}s .. {time_range[1]:.3f}s"
+        if time_range
+        else "(empty)"
+    )
+    print(
+        f"trace: {summary['records']} records "
+        f"({summary['spans']} spans, {summary['events']} events), "
+        f"{summary['requests']} requests, {summary['errors']} errored, "
+        f"window {window}"
+    )
+    for problem in summary["problems"]:
+        print(f"  problem: {problem}")
+
+    print()
+    print(f"critical paths of the {min(top, len(analysis['requests']))} "
+          "slowest requests:")
+    for request in analysis["requests"]:
+        print(
+            f"  request {request['trace_id']} {request['root']} "
+            f"[{request['status']}] {request['duration']:.4f}s "
+            f"dominated by {request['dominant']}"
+        )
+        for segment in request["segments"]:
+            tier = f" [{segment['tier']}]" if segment["tier"] else ""
+            share = (
+                segment["duration"] / request["duration"] * 100.0
+                if request["duration"]
+                else 0.0
+            )
+            print(
+                f"    {segment['duration']:9.4f}s {share:5.1f}%  "
+                f"{segment['name']}{tier}"
+            )
+
+    flame_rows = [
+        [
+            name,
+            stats["count"],
+            _format_seconds(stats["total"]),
+            _format_seconds(stats["self_total"]),
+            _format_seconds(stats["p50"]),
+            _format_seconds(stats["p99"]),
+            _format_seconds(stats["max"]),
+        ]
+        for name, stats in analysis["flame"].items()
+    ]
+    print()
+    print(
+        format_table(
+            ["span", "count", "total s", "self s", "p50", "p99", "max"],
+            flame_rows,
+            title="flame view: total vs self time by span name",
+        )
+    )
+
+    tier_rows = [
+        [
+            tier,
+            stats["count"],
+            _format_seconds(stats["p50"]),
+            _format_seconds(stats["p90"]),
+            _format_seconds(stats["p99"]),
+            _format_seconds(stats["max"]),
+        ]
+        for tier, stats in analysis["tiers"].items()
+    ]
+    if tier_rows:
+        print()
+        print(
+            format_table(
+                ["tier(s)", "count", "p50", "p90", "p99", "max"],
+                tier_rows,
+                title="per-tier span latency percentiles",
+            )
+        )
+
+    straggler_rows = [
+        [
+            s["span_id"],
+            s["name"],
+            s["tier"] or "-",
+            _format_seconds(s["duration"]),
+            s["concurrent_flows"],
+            " > ".join(s["ancestry"]),
+        ]
+        for s in analysis["stragglers"]
+    ]
+    print()
+    print(
+        format_table(
+            ["span", "name", "tier(s)", "duration", "co-flows", "ancestry"],
+            straggler_rows,
+            title=f"stragglers: slowest {len(straggler_rows)} spans",
+        )
+    )
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    try:
+        trace = read_trace_file(
+            args.trace, on_error="raise" if args.strict else "skip"
+        )
+    except TraceParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    analysis = analyze_trace(trace, top=args.top)
+    if args.json:
+        sys.stdout.write(analysis_json(analysis))
+    else:
+        _print_analysis_text(analysis, args.top)
+    if args.chrome_out:
+        write_chrome_trace(trace.records, args.chrome_out)
+        if not args.json:
+            print(f"chrome trace written to {args.chrome_out} "
+                  "(load at ui.perfetto.dev)")
+    if args.strict and trace.problems:
+        for problem in trace.problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
     print("deployments:", ", ".join(DEPLOYMENTS))
@@ -235,6 +437,7 @@ _COMMANDS = {
     "dfsio": cmd_dfsio,
     "slive": cmd_slive,
     "report": cmd_report,
+    "analyze": cmd_analyze,
     "list": cmd_list,
 }
 

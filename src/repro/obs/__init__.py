@@ -32,6 +32,20 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.analyze import (
+    Trace,
+    analysis_json,
+    analyze_trace,
+    critical_path,
+    read_trace,
+    read_trace_file,
+)
+from repro.obs.chrome import (
+    chrome_trace,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.export import (
     metrics_json,
     prometheus_text,
@@ -52,6 +66,8 @@ from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Observability",
+    "ObsCapture",
+    "active_capture",
     "MetricsRegistry",
     "NullRegistry",
     "Tracer",
@@ -69,6 +85,16 @@ __all__ = [
     "write_metrics",
     "tier_report_data",
     "tier_utilization_rows",
+    "Trace",
+    "read_trace",
+    "read_trace_file",
+    "analyze_trace",
+    "analysis_json",
+    "critical_path",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
 ]
 
 
@@ -113,3 +139,95 @@ class Observability:
 
     def now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
+
+
+#: Innermost active :class:`ObsCapture` scopes, outermost first.
+_capture_stack: list["ObsCapture"] = []
+
+
+def active_capture() -> "ObsCapture | None":
+    """The innermost active capture scope, or ``None``."""
+    return _capture_stack[-1] if _capture_stack else None
+
+
+class ObsCapture:
+    """Collect telemetry from every cluster built inside a ``with`` block.
+
+    The experiment runners (``repro experiment fig2`` etc.) construct
+    deployments internally — sometimes dozens per run — so the CLI
+    cannot reach in and enable each one's observability. A capture scope
+    inverts the hookup: :class:`repro.cluster.Cluster` checks
+    :func:`active_capture` at construction and, inside a scope, enables
+    its bundle and registers it here. On exit the capture merges every
+    registered tracer into one valid record stream (span ids are
+    offset per tracer so they stay unique and referentially intact) and
+    every registry into one snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.captured: list[Observability] = []
+
+    def __enter__(self) -> "ObsCapture":
+        _capture_stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _capture_stack.pop()
+
+    def attach(self, obs: Observability) -> None:
+        """Enable ``obs`` and include it in the merged exports."""
+        obs.enable()
+        self.captured.append(obs)
+
+    def merged_trace_records(self) -> list[dict]:
+        """All captured records as one stream with disjoint id spaces.
+
+        Each tracer's span/trace/parent ids are shifted by the total id
+        width of the tracers captured before it, so the merged stream
+        still satisfies :func:`validate_trace_records`.
+        """
+        merged: list[dict] = []
+        offset = 0
+        for obs in self.captured:
+            tracer = obs.tracer
+            for record in tracer.records:
+                if offset:
+                    record = dict(record)
+                    for key in ("span_id", "trace_id", "parent_id"):
+                        if record.get(key) is not None:
+                            record[key] += offset
+                merged.append(record)
+            offset += tracer.ids_issued
+        return merged
+
+    def merged_metrics_snapshot(self) -> dict:
+        """One snapshot per captured registry, as ``{"runs": [...]}``.
+
+        A single-registry capture returns its snapshot unwrapped, so the
+        common one-deployment case stays shaped like ``write_metrics``
+        output.
+        """
+        if len(self.captured) == 1:
+            return self.captured[0].metrics.snapshot()
+        return {
+            "runs": [
+                {"run": index, **obs.metrics.snapshot()}
+                for index, obs in enumerate(self.captured)
+            ]
+        }
+
+    def metrics_text(self, as_json: bool) -> str:
+        """Merged metrics as canonical JSON or stacked Prometheus text."""
+        import json as _json
+
+        if as_json:
+            return (
+                _json.dumps(
+                    self.merged_metrics_snapshot(), sort_keys=True, indent=2
+                )
+                + "\n"
+            )
+        sections = []
+        for index, obs in enumerate(self.captured):
+            sections.append(f"# run {index}\n" + prometheus_text(obs.metrics))
+        return "".join(sections)

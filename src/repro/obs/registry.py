@@ -124,6 +124,45 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Prometheus ``histogram_quantile`` semantics — linear
+        interpolation inside the bucket that crosses rank ``q * count``
+        — with two refinements the exact ``min``/``max`` tracking makes
+        possible: the result is clamped to ``[min, max]`` (so a
+        single-sample histogram returns that sample for every ``q``),
+        and the +Inf bucket reports ``max`` instead of the unbounded
+        upper edge. Returns ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        rank = q * self.count
+        running = 0
+        lower = self.min  # no observation sits below the tracked min
+        for bound, in_bucket in zip(self.buckets, self.bucket_counts):
+            if in_bucket:
+                running += in_bucket
+                if running >= rank:
+                    fraction = 1.0 - (running - rank) / in_bucket
+                    value = lower + (bound - lower) * fraction
+                    return min(max(value, self.min), self.max)
+            lower = max(lower, bound)
+        return self.max  # rank falls in the +Inf bucket
+
+    def quantiles(self) -> dict[str, float]:
+        """The snapshot percentiles: p50/p90/p99 (empty dict if no data)."""
+        if self.count == 0:
+            return {}
+        return {
+            "p50": self.quantile(0.50),  # type: ignore[dict-item]
+            "p90": self.quantile(0.90),  # type: ignore[dict-item]
+            "p99": self.quantile(0.99),  # type: ignore[dict-item]
+        }
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
         out: list[tuple[float, int]] = []
@@ -140,6 +179,7 @@ class Histogram:
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            "quantiles": self.quantiles(),
             "buckets": [
                 [bound if bound != float("inf") else "+Inf", count]
                 for bound, count in self.cumulative_buckets()
@@ -217,8 +257,16 @@ class MetricsRegistry:
             yield self._instruments[key]
 
     def snapshot(self) -> dict:
-        """The full registry as a JSON-serializable, deterministic dict."""
-        out: dict[str, list] = {}
+        """The full registry as a JSON-serializable, deterministic dict.
+
+        Always carries every instrument-kind key, so consumers can index
+        into ``snapshot()["counters"]`` without guarding against a
+        registry that never saw that kind.
+        """
+        out: dict[str, list] = {
+            kind + "s": []
+            for kind in ("counter", "gauge", "histogram", "timeseries")
+        }
         for instrument in self.instruments():
             out.setdefault(instrument.kind + "s", []).append(
                 {
@@ -261,6 +309,12 @@ class _NullInstrument:
 
     def sample(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> None:
+        return None
+
+    def quantiles(self) -> dict:
+        return {}
 
     def data(self) -> dict:
         return {}

@@ -362,6 +362,10 @@ class FlowScheduler:
                 parent=parent,
                 size=flow.size,
                 resources=len(flow.resources),
+                # Which channels the transfer crosses (NIC directions,
+                # rack uplinks, media read/write channels) — the trace
+                # analyzer's straggler view points at the shared hop.
+                path=[r.name for r in flow.resources],
             )
             obs.metrics.counter("flows_started_total").inc()
         if flow.remaining <= _EPSILON_BYTES:

@@ -1,0 +1,148 @@
+"""Tests for the Chrome/Perfetto trace-event exporter (repro.obs.chrome).
+
+The emitted document must load under the trace-event schema: every
+record becomes an event with the right phase, processes map to
+requests, threads map to component lanes, and timestamps convert to
+microseconds. Validated structurally via ``validate_chrome_trace``.
+"""
+
+import json
+
+from repro import OctopusFileSystem
+from repro.cluster import small_cluster_spec
+from repro.obs import (
+    chrome_trace,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.util.units import MB
+
+
+def _traced_records():
+    fs = OctopusFileSystem(small_cluster_spec())
+    fs.obs.enable()
+    client = fs.client(on="worker1")
+    client.write_file("/c/one", size=8 * MB)
+    with client.open("/c/one") as stream:
+        stream.read_size()
+    fs.fail_worker("worker2")
+    fs.await_replication()
+    return fs.obs.tracer.records
+
+
+class TestChromeTrace:
+    def test_document_is_schema_valid(self):
+        document = chrome_trace(_traced_records())
+        assert validate_chrome_trace(document) == []
+        assert document["traceEvents"]
+
+    def test_every_record_becomes_an_event(self):
+        records = _traced_records()
+        document = chrome_trace(records)
+        payload = [e for e in document["traceEvents"] if e["ph"] != "M"]
+        assert len(payload) == len(records)
+        spans = [e for e in payload if e["ph"] == "X"]
+        instants = [e for e in payload if e["ph"] == "i"]
+        assert len(spans) == sum(1 for r in records if r["kind"] == "span")
+        assert len(instants) == sum(
+            1 for r in records if r["kind"] == "event"
+        )
+
+    def test_processes_are_requests(self):
+        records = _traced_records()
+        document = chrome_trace(records)
+        trace_ids = {
+            r["trace_id"] for r in records if r.get("trace_id") is not None
+        }
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert trace_ids <= set(process_names)
+        # Root spans label their request's process row.
+        roots = {
+            r["trace_id"]: r["name"]
+            for r in records
+            if r["kind"] == "span" and r["span_id"] == r["trace_id"]
+        }
+        for trace_id, name in roots.items():
+            assert name in process_names[trace_id]
+
+    def test_threads_are_component_lanes(self):
+        document = chrome_trace(_traced_records())
+        thread_names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "client" in thread_names
+        assert any(name.startswith("flow ") for name in thread_names)
+        # Every payload event's (pid, tid) has a thread_name record.
+        named = {
+            (e["pid"], e["tid"])
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for event in document["traceEvents"]:
+            if event["ph"] != "M":
+                assert (event["pid"], event["tid"]) in named
+
+    def test_timestamps_are_microseconds(self):
+        records = _traced_records()
+        document = chrome_trace(records)
+        span = next(r for r in records if r["kind"] == "span")
+        event = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["args"].get("span_id") == span["span_id"]
+        )
+        assert event["ts"] == span["start"] * 1e6
+        assert event["dur"] == (span["end"] - span["start"]) * 1e6
+
+    def test_span_args_carry_attrs_and_status(self):
+        records = _traced_records()
+        document = chrome_trace(records)
+        flow = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "flow.transfer"
+        )
+        assert flow["args"]["status"] == "ok"
+        assert flow["args"]["size"] > 0
+        assert flow["args"]["path"]  # resource channel names
+
+    def test_empty_stream_is_valid(self):
+        document = chrome_trace([])
+        assert validate_chrome_trace(document) == []
+        assert document["traceEvents"] == []
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        records = _traced_records()
+        path = tmp_path / "trace.chrome.json"
+        write_chrome_trace(records, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded == chrome_trace(records)
+
+    def test_export_is_deterministic(self):
+        a = chrome_trace_json(_traced_records())
+        b = chrome_trace_json(_traced_records())
+        assert a == b
+
+    def test_validator_flags_malformed_documents(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1},  # no ts/dur
+                {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+                {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+                 "args": {}},
+                "not an event",
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 4

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.obs import validate_trace_records
+from repro.obs import validate_chrome_trace, validate_trace_records
 
 
 class TestParser:
@@ -74,6 +74,12 @@ class TestObservabilityFlags:
         for tier in data["tiers"]:
             assert tier["remaining"] <= tier["total_capacity"]
 
+    def test_report_json_includes_engine_and_metrics(self, capsys):
+        assert main(["report", "--deployment", "octopus", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine"]["events_processed"] >= 0
+        assert {"counters", "gauges", "histograms"} <= set(data["metrics"])
+
     def test_dfsio_writes_metrics_and_trace(self, tmp_path, capsys):
         metrics = tmp_path / "metrics.prom"
         trace = tmp_path / "trace.jsonl"
@@ -125,3 +131,92 @@ class TestObservabilityFlags:
             if r["name"] == "workload.phase"
         }
         assert {"mkdir", "create", "open", "ls", "rename", "delete"} <= phases
+
+
+class TestExperimentCapture:
+    def test_fig5_capture_writes_metrics_and_trace(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "experiment", "fig5",
+                "--scale", "0.05",
+                "--metrics-out", str(metrics),
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {metrics}" in out
+        assert f"trace written to {trace}" in out
+        # fig5 builds several deployments; each run's metrics are kept.
+        assert json.loads(metrics.read_text())["runs"]
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records
+        assert validate_trace_records(records) == []
+        # Merged streams must not collide on span ids across runs.
+        span_ids = [r["span_id"] for r in records if r["kind"] == "span"]
+        assert len(span_ids) == len(set(span_ids))
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "dfsio",
+                "--size", "128MB",
+                "--parallelism", "2",
+                "--trace-out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_text_report(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "flow.transfer" in out
+        assert "stragglers" in out
+
+    def test_json_report(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["problems"] == []
+        assert data["requests"]
+        for request in data["requests"]:
+            total = sum(s["duration"] for s in request["segments"])
+            assert total == pytest.approx(request["duration"])
+
+    def test_chrome_out(self, trace_path, tmp_path, capsys):
+        chrome = tmp_path / "trace.chrome.json"
+        code = main(
+            ["analyze", str(trace_path), "--chrome-out", str(chrome)]
+        )
+        assert code == 0
+        assert f"chrome trace written to {chrome}" in capsys.readouterr().out
+        document = json.loads(chrome.read_text())
+        assert validate_chrome_trace(document) == []
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_corrupt_line_tolerated_by_default(self, trace_path, capsys):
+        with open(trace_path, "a", encoding="utf-8") as handle:
+            handle.write("%% not json %%\n")
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "problem: line 17: invalid JSON" in out
+
+    def test_strict_fails_on_corrupt_line(self, trace_path, capsys):
+        with open(trace_path, "a", encoding="utf-8") as handle:
+            handle.write("%% not json %%\n")
+        assert main(["analyze", str(trace_path), "--strict"]) == 1
+        err = capsys.readouterr().err
+        assert "invalid JSON" in err
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -102,6 +102,54 @@ class TestMetricsRegistry:
         hist.observe(2.0)
         assert hist.data()["buckets"][-1] == ["+Inf", 1]
 
+    def test_histogram_quantile_interpolates_within_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        # Rank 2 of 4 falls halfway through the 2-count (1, 2] bucket.
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(0.75) == pytest.approx(2.0)
+        assert hist.quantile(0.0) == 0.5  # clamped to tracked min
+        assert hist.quantile(1.0) == 3.0  # clamped to tracked max
+
+    def test_histogram_quantile_empty_and_single_sample(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0))
+        assert hist.quantile(0.5) is None
+        assert hist.quantiles() == {}
+        hist.observe(1.3)
+        # A single sample is every quantile, despite bucket edges.
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 1.3
+
+    def test_histogram_quantile_in_overflow_bucket_is_max(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0,))
+        hist.observe(5.0)
+        hist.observe(9.0)
+        assert hist.quantile(0.99) == 9.0
+
+    def test_histogram_quantile_rejects_out_of_range(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_histogram_data_includes_quantiles(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        data = hist.data()
+        assert set(data["quantiles"]) == {"p50", "p90", "p99"}
+        assert data["quantiles"]["p50"] <= data["quantiles"]["p99"]
+        snap = reg.snapshot()
+        assert snap["histograms"][0]["quantiles"] == data["quantiles"]
+
     def test_timeseries_stamps_with_sim_clock(self):
         clock = FakeClock()
         reg = MetricsRegistry(clock)
