@@ -1,0 +1,94 @@
+"""Adaptive-vs-static tiering evaluation on the workload-shift scenario.
+
+Runs :mod:`repro.bench.experiments.tiering_shift` — the rotating-hot-set
+workload under the static baseline and the decay-heat policy, on
+identically-seeded deployments — asserts the adaptive policy actually
+wins post-shift (higher memory-tier hit rate or lower read p99), checks
+the file-system invariants still hold after all the vector churn, and
+emits ``BENCH_tiering.json`` at the repository root for the
+perf-regression gate (``repro.bench.regression``, ruleset "tiering").
+
+Every reported number is simulation-derived, so the gate holds the
+results to float-repr exactness across machines; ``wall_s`` is the one
+machine-dependent field and is never gated.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.bench.experiments import tiering_shift
+from repro.fs.invariants import check_system_invariants
+
+SEED_FILE = pathlib.Path(__file__).parent.parent / "BENCH_tiering.json"
+
+SEED = 0
+
+
+def test_adaptive_beats_static(bench_scale, record_result, capsys):
+    start = time.perf_counter()
+    result = tiering_shift.run(scale=bench_scale, seed=SEED)
+    wall = time.perf_counter() - start
+
+    static = result.outcomes["static"]
+    adaptive = result.outcomes["adaptive"]
+    comparison = result.comparison
+
+    # The engine must have actually closed the loop, not won by luck.
+    assert adaptive.promotions > 0
+    assert adaptive.conflicts == 0
+    # The acceptance bar: lower post-shift read p99 OR higher
+    # memory-tier hit rate, recorded in the comparison.
+    assert comparison["adaptive_wins"]
+    assert (
+        adaptive.result.post_shift_hit_rate
+        > static.result.post_shift_hit_rate
+        or adaptive.result.post_shift_p99 < static.result.post_shift_p99
+    )
+    # The static baseline is disk-pinned; it must never see memory.
+    assert static.result.post_shift_hit_rate == 0.0
+
+    data = result.data()
+    data["wall_s"] = round(wall, 4)
+    payload = json.dumps(data, sort_keys=True, indent=2) + "\n"
+    SEED_FILE.write_text(payload)
+    record_result("tiering", payload)
+
+    # Print the comparison so the benchmark log carries the verdict.
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+
+def test_invariants_hold_after_adaptive_run(bench_scale):
+    """All the promotion/demotion churn must leave the fs consistent."""
+    from repro.bench.deployments import build_deployment
+    from repro.cluster.spec import small_cluster_spec
+    from repro.tier import DecayHeatPolicy, TieringEngine
+    from repro.util.units import MB
+    from repro.workloads.shift import WorkloadShift
+
+    fs = build_deployment(
+        "octopus", spec=small_cluster_spec(seed=SEED), seed=SEED
+    )
+    workload = WorkloadShift(
+        fs,
+        files=6,
+        file_size=4 * MB,
+        phases=2,
+        reads_per_phase=max(8, int(round(15 * bench_scale))),
+    )
+    workload.setup()
+    fs.await_replication()
+    engine = TieringEngine(
+        fs,
+        policy=DecayHeatPolicy(promote_heat=1.5, demote_heat=0.5),
+        interval=tiering_shift.TIERING_INTERVAL,
+        half_life=tiering_shift.HEAT_HALF_LIFE,
+    ).start()
+    fs.start_services(heartbeat_interval=3.0, replication_interval=1.0)
+    workload.run()
+    engine.stop()
+    fs.stop_services()
+    fs.await_replication()
+    check_system_invariants(fs)  # raises with the violation list

@@ -16,6 +16,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig7_pegasus,
     table2_media,
     table3_namespace,
+    tiering_shift,
 )
 
 ALL_EXPERIMENTS = {
@@ -28,4 +29,6 @@ ALL_EXPERIMENTS = {
     "fig6": fig6_hibench,
     "fig7": fig7_pegasus,
     "ablation": ablation,
+    # Beyond the paper: the automation-loop evaluation (docs/TIERING.md).
+    "tiering": tiering_shift,
 }

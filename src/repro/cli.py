@@ -30,6 +30,7 @@ and Chrome/Perfetto trace export::
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from typing import Sequence
@@ -59,6 +60,19 @@ from repro.workloads.slive import (
 )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be strictly positive."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
     exp.add_argument("--scale", type=float, default=0.2)
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--policy", choices=("static", "adaptive", "both"), default=None,
+        help="tiering policy selection, for experiments that take one "
+        "(e.g. 'tiering'); others reject the flag",
+    )
     _add_observability_flags(exp)
 
     dfsio = sub.add_parser("dfsio", help="run the DFSIO I/O benchmark")
@@ -113,8 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(viewable at ui.perfetto.dev)",
     )
     analyze.add_argument(
-        "--top", type=int, default=5,
-        help="how many slowest requests/stragglers to report (default 5)",
+        "--top", type=_positive_int, default=5,
+        help="how many slowest requests/stragglers to report "
+        "(positive integer, default 5)",
     )
     analyze.add_argument(
         "--strict", action="store_true",
@@ -162,12 +182,22 @@ def _parse_vector(text: str | None) -> ReplicationVector | int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     module = ALL_EXPERIMENTS[args.name]
+    run_kwargs = {"scale": args.scale, "seed": args.seed}
+    takes_policy = "policy" in inspect.signature(module.run).parameters
+    if args.policy is not None:
+        if not takes_policy:
+            print(
+                f"error: experiment {args.name!r} does not take --policy",
+                file=sys.stderr,
+            )
+            return 2
+        run_kwargs["policy"] = args.policy
     if args.metrics_out or args.trace_out:
         # Experiments build their deployments internally (often several
         # per run); the capture scope enables observability on each one
         # and merges the telemetry on export.
         with ObsCapture() as capture:
-            result = module.run(scale=args.scale, seed=args.seed)
+            result = module.run(**run_kwargs)
         print(result.format())
         if args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -183,7 +213,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             print(f"trace written to {args.trace_out} "
                   f"({len(capture.captured)} deployment(s))")
         return 0
-    result = module.run(scale=args.scale, seed=args.seed)
+    result = module.run(**run_kwargs)
     print(result.format())
     return 0
 

@@ -132,16 +132,23 @@ class CacheManager:
         policy: EvictionPolicy | None = None,
         promote_after: int = 2,
         memory_tier: str = "MEMORY",
+        max_tracked: int = 4096,
     ) -> None:
         if memory_budget <= 0:
             raise ConfigurationError("cache memory budget must be positive")
         if memory_tier not in system.cluster.tiers:
             raise ConfigurationError(f"no tier named {memory_tier!r}")
+        if max_tracked <= 0:
+            raise ConfigurationError("max_tracked must be positive")
         self.system = system
         self.memory_budget = memory_budget
         self.policy = policy or LruPolicy()
         self.promote_after = promote_after
         self.memory_tier = memory_tier
+        #: Bound on ``_access_counts`` entries: without it, every path
+        #: ever opened but never promoted (the bulk of a long S-Live
+        #: run) would keep a counter forever.
+        self.max_tracked = max_tracked
         self.stats = CacheStats()
         self._access_counts: dict[str, int] = {}
         self._attached = False
@@ -180,6 +187,26 @@ class CacheManager:
             obs.metrics.counter("cache_accesses_total", result="miss").inc()
         if self._access_counts[path] >= self.promote_after:
             self._promote(path, now)
+        self._prune_access_counts()
+
+    def _prune_access_counts(self) -> None:
+        """Keep the access-count table bounded at ``max_tracked``.
+
+        Cached entries are exempt (their counts feed admission
+        control); among the rest the coldest ``(count, path)`` goes
+        first — deterministic, so identically-seeded runs prune
+        identically.
+        """
+        while len(self._access_counts) > self.max_tracked:
+            evictable = [
+                (count, path)
+                for path, count in self._access_counts.items()
+                if path not in self.stats.cached_paths
+            ]
+            if not evictable:
+                return
+            _, victim = min(evictable)
+            del self._access_counts[victim]
 
     def _file_length(self, path: str) -> int:
         return self.system.master_for(path).get_status(path).length
@@ -188,7 +215,12 @@ class CacheManager:
         try:
             length = self._file_length(path)
         except FileSystemError:
-            return  # deleted between access and promotion
+            # Deleted between access and promotion: without this
+            # cleanup the path's counter (and any policy record) would
+            # linger forever.
+            self._access_counts.pop(path, None)
+            self.policy.forget(path)
+            return
         if length > self.memory_budget:
             self.stats.rejected_too_large += 1
             return

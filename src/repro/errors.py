@@ -66,6 +66,11 @@ class ReplicationVectorError(FileSystemError):
     """An invalid replication vector was supplied."""
 
 
+class StaleVectorError(FileSystemError):
+    """A compare-and-set ``setReplication`` lost the race: the file's
+    vector is no longer the one the caller observed."""
+
+
 class PlacementError(OctopusError):
     """The placement policy could not satisfy a placement request."""
 

@@ -74,17 +74,29 @@ class Client:
         return FSDataOutputStream(self.system, path, self.node)
 
     def set_replication(
-        self, path: str, rep_vector: ReplicationVector | int
+        self,
+        path: str,
+        rep_vector: ReplicationVector | int,
+        expected: ReplicationVector | None = None,
     ) -> dict[str, int]:
         """Rewrite a file's replication vector (asynchronous, §5).
 
         Returns the per-tier delta; call
         :meth:`OctopusFileSystem.await_replication` to block until the
-        replica movements complete.
+        replica movements complete. Passing ``expected`` turns the call
+        into a compare-and-set that fails with
+        :class:`~repro.errors.StaleVectorError` when the file's vector
+        is no longer the one the caller observed.
         """
         vector = _as_vector(rep_vector, self.system.default_rep_vector)
         master = self.system.master_for(path)
-        return master.set_replication(path, vector, user=self.user)
+        return master.set_replication(
+            path, vector, user=self.user, expected=expected
+        )
+
+    def get_replication(self, path: str) -> ReplicationVector:
+        """The file's current replication vector (for read-modify-CAS)."""
+        return self.get_status(path).rep_vector
 
     def get_file_block_locations(
         self, path: str, start: int = 0, length: int | None = None

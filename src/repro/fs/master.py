@@ -37,6 +37,7 @@ from repro.errors import (
     InsufficientStorageError,
     LeaseError,
     RetrievalError,
+    StaleVectorError,
     WorkerError,
 )
 from repro.fs.blocks import FINALIZED, Block, BlockLocation, Replica
@@ -583,18 +584,39 @@ class Master:
         path: str,
         rep_vector: ReplicationVector,
         user: UserContext = SUPERUSER,
+        expected: ReplicationVector | None = None,
     ) -> dict[str, int]:
         """Change a file's vector; returns the per-tier delta.
 
         Asynchronous by design (like HDFS): the namespace updates
         immediately, and the replication manager converges the blocks on
         its next pass (:meth:`check_replication`).
+
+        ``expected`` arms a compare-and-set: the change applies only if
+        the file's current vector still equals it, else
+        :class:`~repro.errors.StaleVectorError` is raised. Automated
+        callers (the tiering engine) use this so a decision made against
+        an observed vector never clobbers a concurrent application
+        change. Files under construction reject vector changes outright
+        — their blocks are still being placed against the create-time
+        vector.
         """
         available = {t.name for t in self.cluster.active_tiers()}
         if not rep_vector.is_satisfiable_with(available):
             raise InsufficientStorageError(
                 f"vector {rep_vector.shorthand()} requests tiers absent from "
                 f"the cluster (active: {sorted(available)})"
+            )
+        current = self.namespace.get_file(path, user)
+        if current.under_construction:
+            raise LeaseError(
+                f"cannot change replication of {path!r} while it is "
+                "under construction"
+            )
+        if expected is not None and current.rep_vector != expected:
+            raise StaleVectorError(
+                f"vector of {path!r} is {current.rep_vector.shorthand()}, "
+                f"not the expected {expected.shorthand()}"
             )
         inode, old = self.namespace.set_replication_vector(path, rep_vector, user)
         for block in inode.blocks:

@@ -251,6 +251,17 @@ class MetricsRegistry:
         factory = lambda n, lk: TimeSeries(n, lk, self._clock)  # noqa: E731
         return self._get("timeseries", factory, name, labels)  # type: ignore[return-value]
 
+    def find(self, kind: str, name: str, **labels: str) -> object | None:
+        """Look up an existing instrument WITHOUT creating it.
+
+        The factory methods mint an instrument on first touch, which is
+        right for producers but wrong for passive readers: a consumer
+        probing for a histogram it only *might* find would leave an
+        empty instrument behind and change every subsequent export. The
+        tiering engine reads latency signals through this instead.
+        """
+        return self._instruments.get((kind, name, _label_key(labels)))
+
     def instruments(self) -> Iterator:
         """All instruments, deterministically ordered by (kind, name, labels)."""
         for key in sorted(self._instruments):
@@ -345,6 +356,9 @@ class NullRegistry:
 
     def timeseries(self, name: str = "", **labels: str) -> _NullInstrument:
         return NULL_INSTRUMENT
+
+    def find(self, kind: str = "", name: str = "", **labels: str) -> None:
+        return None
 
     def instruments(self) -> Iterator:
         return iter(())

@@ -14,10 +14,14 @@ paper's physical 10-node cluster:
 * :mod:`repro.sim.faults` — deterministic fault injection: declarative
   :class:`FaultSchedule` scenarios, a seeded :class:`ChaosProcess`, and
   the :class:`FaultInjector` facade, all running as engine processes.
+* :mod:`repro.sim.periodic` — a stoppable wait-first periodic callback
+  process (the shape shared by heartbeats, the replication monitor, and
+  the tiering engine's policy rounds).
 """
 
 from repro.sim.engine import SimulationEngine, TimerHandle
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.periodic import PeriodicProcess
 from repro.sim.faults import (
     ChaosProcess,
     FaultEvent,
@@ -52,4 +56,5 @@ __all__ = [
     "FaultInjector",
     "FaultRecord",
     "FaultSchedule",
+    "PeriodicProcess",
 ]

@@ -1,0 +1,71 @@
+"""A stoppable periodic callback process for the simulation engine.
+
+The background daemons in :class:`~repro.fs.system.OctopusFileSystem`
+(heartbeats, the replication monitor) all share one shape: wait an
+interval, do work, repeat while a flag is set. The tiering engine needs
+the same shape, so the pattern is factored here once.
+
+The loop *waits first*: starting a periodic process never fires the
+callback at the current instant, so attaching one to an otherwise idle
+engine and draining it with a bare ``engine.run()`` is safe as long as
+:meth:`PeriodicProcess.stop` is called first (same contract as
+``stop_services``). The running flag is re-checked after every wait, so
+a ``stop()`` issued while the process sleeps cancels the next firing
+rather than squeezing in one last callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Process, SimulationEngine
+
+
+class PeriodicProcess:
+    """Run ``callback()`` every ``interval`` simulated seconds."""
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        callback: Callable[[], object],
+        interval: float,
+        name: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError("periodic interval must be positive")
+        self.engine = engine
+        self.callback = callback
+        self.interval = float(interval)
+        self.name = name
+        self.ticks = 0
+        self.process: "Process | None" = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "PeriodicProcess":
+        if self._running:
+            raise ConfigurationError(f"periodic process {self.name!r} already running")
+        self._running = True
+        self.process = self.engine.process(self._loop(), name=self.name)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self) -> Generator:
+        while self._running:
+            yield self.engine.timeout(self.interval)
+            if not self._running:
+                return
+            self.callback()
+            self.ticks += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return f"<PeriodicProcess {self.name!r} every {self.interval}s {state}>"

@@ -3,6 +3,9 @@
 * :mod:`repro.workloads.dfsio` — the DFSIO distributed I/O benchmark
   (paper §7.1–7.3): concurrent writers/readers measuring per-worker
   throughput.
+* :mod:`repro.workloads.shift` — the workload-shift scenario: a
+  rotating hot set that measures how fast tiering management adapts
+  (per-phase read latency and memory hit rate).
 * :mod:`repro.workloads.slive` — the S-Live namespace stress test
   (paper §7.4), runnable against the OctopusFS Master and against the
   plain-HDFS baseline namesystem.
@@ -18,8 +21,12 @@
 """
 
 from repro.workloads.dfsio import Dfsio, DfsioResult
+from repro.workloads.shift import PhaseStats, ShiftResult, WorkloadShift
 
 __all__ = [
     "Dfsio",
     "DfsioResult",
+    "PhaseStats",
+    "ShiftResult",
+    "WorkloadShift",
 ]

@@ -35,6 +35,7 @@ class TestRegistry:
             "fig6",
             "fig7",
             "ablation",
+            "tiering",  # beyond the paper: the §8 automation loop
         }
 
     def test_fig4_shares_fig3_module(self):
@@ -112,3 +113,20 @@ class TestAblation:
         assert len(titles) == 4
         assert any("greedy" in t for t in titles)
         assert any("memory cap" in t for t in titles)
+
+
+class TestTiering:
+    def test_single_policy_run(self):
+        result = ALL_EXPERIMENTS["tiering"].run(scale=TINY, policy="static")
+        assert list(result.outcomes) == ["static"]
+        assert "Workload shift" in result.format()
+        assert not result.comparison  # one policy: nothing to compare
+
+    def test_both_policies_compared(self):
+        result = ALL_EXPERIMENTS["tiering"].run(scale=TINY)
+        assert set(result.outcomes) == {"static", "adaptive"}
+        data = result.data()
+        assert data["benchmark"] == "tiering"
+        assert {"post_shift_p99_speedup", "post_shift_hit_rate_gain",
+                "adaptive_wins"} <= set(data["comparison"])
+        assert "policy" in result.format()

@@ -177,3 +177,49 @@ class TestCacheManager:
     def test_invalid_budget_rejected(self, fs):
         with pytest.raises(ConfigurationError):
             CacheManager(fs, memory_budget=0)
+
+
+class TestAccessCountBookkeeping:
+    """Regression: `_access_counts` must not grow without bound."""
+
+    def test_deleted_file_counts_dropped_on_promotion_attempt(self, fs, client):
+        manager = CacheManager(fs, memory_budget=64 * MB, promote_after=2).attach()
+        client.write_file("/gone", size=4 * MB)
+        client.open("/gone").read_size()
+        assert "/gone" in manager._access_counts
+        client.delete("/gone")
+        # The access notification can outlive the file (listener queues,
+        # in-flight opens); the promotion attempt must clean up rather
+        # than leave a stale counter forever.
+        fs.notify_access("/gone")
+        assert "/gone" not in manager._access_counts
+
+    def test_never_promoted_paths_bounded(self, fs, client):
+        manager = CacheManager(
+            fs, memory_budget=64 * MB, promote_after=100, max_tracked=8
+        ).attach()
+        for index in range(20):
+            client.write_file(f"/one-shot-{index:02d}", size=MB)
+            client.open(f"/one-shot-{index:02d}").read_size()
+        assert len(manager._access_counts) <= 8
+
+    def test_pruning_prefers_coldest_and_spares_cached(self, fs, client):
+        manager = CacheManager(
+            fs, memory_budget=64 * MB, promote_after=2, max_tracked=3
+        ).attach()
+        client.write_file("/hot", size=MB, rep_vector=ReplicationVector.of(hdd=2))
+        for _ in range(3):
+            client.open("/hot").read_size()
+        fs.await_replication()
+        assert "/hot" in manager.stats.cached_paths
+        for index in range(5):
+            client.write_file(f"/cold-{index}", size=MB)
+            client.open(f"/cold-{index}").read_size()
+        # The cached path keeps its count (admission control needs it);
+        # the overflow fell on the one-access cold entries.
+        assert "/hot" in manager._access_counts
+        assert len(manager._access_counts) <= 3
+
+    def test_invalid_max_tracked_rejected(self, fs):
+        with pytest.raises(ConfigurationError):
+            CacheManager(fs, memory_budget=MB, max_tracked=0)

@@ -220,3 +220,45 @@ class TestAnalyze:
     def test_missing_file_is_error(self, tmp_path, capsys):
         assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_missing_file_in_strict_mode_is_error(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.jsonl"), "--strict"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("top", ["0", "-3"])
+    def test_non_positive_top_rejected(self, trace_path, top, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(trace_path), "--top", top])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_integer_top_rejected(self, trace_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(trace_path), "--top", "many"])
+        assert excinfo.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_positive_top_accepted(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--top", "2"]) == 0
+        assert "stragglers" in capsys.readouterr().out
+
+
+class TestExperimentPolicyFlag:
+    def test_policy_rejected_for_experiments_without_one(self, capsys):
+        assert main(["experiment", "table2", "--policy", "adaptive"]) == 2
+        assert "does not take --policy" in capsys.readouterr().err
+
+    def test_invalid_policy_value_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "tiering", "--policy", "bogus"]
+            )
+
+    def test_tiering_accepts_policy(self, capsys):
+        assert main(
+            ["experiment", "tiering", "--scale", "0.1", "--policy", "static"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "static" in out
+        assert "Workload shift" in out

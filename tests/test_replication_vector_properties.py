@@ -1,0 +1,163 @@
+"""Randomized property tests for replication vectors and their caches.
+
+``test_replication_vector.py`` covers the paper-driven behaviour with
+hand-picked examples; this file sweeps the encode/decode, shorthand,
+equality, and diff surfaces with generated vectors, and checks the two
+memo caches (the vector's own default-order encoding and the module-
+level ``expand_vector`` cache) always agree with a fresh computation —
+the kind of staleness a cache bug would hide from example tests.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.moop import _EXPAND_CACHE, expand_vector
+from repro.core.replication_vector import (
+    DEFAULT_TIER_ORDER,
+    UNSPECIFIED,
+    ReplicationVector,
+)
+
+#: Entry counts kept small: realistic replica counts and fast shrink.
+counts = st.integers(min_value=0, max_value=9)
+
+
+def vectors():
+    return st.builds(
+        ReplicationVector.from_counts,
+        st.lists(counts, min_size=5, max_size=5),
+    )
+
+
+class TestEncodingRoundTrip:
+    @given(entries=st.lists(counts, min_size=5, max_size=5))
+    def test_encode_decode_round_trip(self, entries):
+        vector = ReplicationVector.from_counts(entries)
+        assert ReplicationVector.decode(vector.encode()) == vector
+
+    @given(entries=st.lists(st.integers(0, 255), min_size=5, max_size=5))
+    def test_round_trip_at_full_entry_range(self, entries):
+        vector = ReplicationVector.from_counts(entries)
+        assert ReplicationVector.decode(vector.encode()) == vector
+
+    @given(entries=st.lists(counts, min_size=3, max_size=3))
+    def test_round_trip_under_custom_tier_order(self, entries):
+        order = ("FAST", "MID", "SLOW")
+        vector = ReplicationVector.from_counts(entries + [1], tier_order=order)
+        encoded = vector.encode(tier_order=order)
+        assert ReplicationVector.decode(encoded, tier_order=order) == vector
+
+    @given(a=vectors(), b=vectors())
+    def test_encoding_is_injective(self, a, b):
+        assert (a.encode() == b.encode()) == (a == b)
+
+    @given(vector=vectors())
+    def test_cached_default_encoding_matches_fresh(self, vector):
+        """The instance memoizes its default-order encoding; an
+        explicitly passed (equal) order must compute the same bits."""
+        cached_twice = (vector.encode(), vector.encode())
+        fresh = vector.encode(tier_order=tuple(DEFAULT_TIER_ORDER))
+        assert cached_twice == (fresh, fresh)
+
+
+class TestShorthandRoundTrip:
+    @given(entries=st.lists(counts, min_size=5, max_size=5))
+    def test_shorthand_parses_back(self, entries):
+        vector = ReplicationVector.from_counts(entries)
+        text = vector.shorthand()
+        parsed = ReplicationVector.from_counts(
+            [int(part) for part in text.strip("<>").split(",")]
+        )
+        assert parsed == vector
+
+    @given(entries=st.lists(counts, min_size=5, max_size=5))
+    def test_from_counts_recovers_every_entry(self, entries):
+        vector = ReplicationVector.from_counts(entries)
+        recovered = [vector.count(t) for t in DEFAULT_TIER_ORDER]
+        recovered.append(vector.unspecified)
+        assert recovered == entries
+
+
+class TestCompareTotality:
+    @given(a=vectors(), b=vectors())
+    def test_eq_hash_consistency(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+            assert b == a  # symmetry
+
+    @given(entries=st.lists(counts, min_size=5, max_size=5))
+    def test_zero_entries_normalize(self, entries):
+        """A tier explicitly set to 0 equals one never mentioned —
+        compare and hash see through the representation."""
+        vector = ReplicationVector.from_counts(entries)
+        sparse = ReplicationVector(
+            {t: c for t, c in zip(DEFAULT_TIER_ORDER, entries) if c},
+            unspecified=entries[-1],
+        )
+        assert vector == sparse
+        assert hash(vector) == hash(sparse)
+
+    @given(a=vectors(), b=vectors())
+    def test_diff_transforms_source_into_target(self, a, b):
+        patched = a
+        for tier, delta in a.diff(b).items():
+            patched = patched.add(tier, delta)
+        assert patched == b
+        assert (a.diff(b) == {}) == (a == b)
+
+    @given(a=vectors(), b=vectors())
+    def test_diff_is_antisymmetric(self, a, b):
+        forward = a.diff(b)
+        backward = b.diff(a)
+        assert set(forward) == set(backward)
+        assert all(forward[k] == -backward[k] for k in forward)
+
+    @given(vector=vectors(), other=vectors())
+    def test_comparisons_do_not_mutate(self, vector, other):
+        snapshot = (vector.tier_counts, vector.unspecified)
+        vector == other
+        vector.diff(other)
+        hash(vector)
+        assert (vector.tier_counts, vector.unspecified) == snapshot
+
+
+class TestExpandVectorMemo:
+    RANK = {"MEMORY": 0, "SSD": 1, "HDD": 2, "REMOTE": 3}
+
+    def _fresh_expansion(self, vector):
+        tiers = []
+        for tier, count in sorted(
+            vector.tier_counts.items(), key=lambda item: self.RANK[item[0]]
+        ):
+            tiers.extend([tier] * count)
+        tiers.extend([None] * vector.unspecified)
+        return tiers
+
+    @given(vector=vectors())
+    def test_memoized_expansion_matches_fresh_computation(self, vector):
+        entries = expand_vector(vector, self.RANK)
+        again = expand_vector(vector, self.RANK)  # memo hit
+        assert [e.required_tier for e in entries] == [e.required_tier for e in again]
+        assert [e.required_tier for e in entries] == self._fresh_expansion(vector)
+        assert len(entries) == vector.total_replicas
+
+    @given(vector=vectors())
+    def test_callers_cannot_corrupt_the_cache(self, vector):
+        entries = expand_vector(vector, self.RANK)
+        entries.reverse()  # a caller mutating its returned list...
+        clean = expand_vector(vector, self.RANK)
+        assert [e.required_tier for e in clean] == self._fresh_expansion(vector)
+
+    @given(entries=st.lists(counts, min_size=5, max_size=5))
+    def test_equal_vectors_share_a_cache_slot(self, entries):
+        """Distinct-but-equal vector objects hash alike, so the memo
+        must serve both from one entry with identical results."""
+        first = ReplicationVector.from_counts(entries)
+        second = ReplicationVector.from_counts(list(entries))
+        assert first is not second
+        before = len(_EXPAND_CACHE)
+        a = expand_vector(first, self.RANK)
+        grew = len(_EXPAND_CACHE) - before
+        b = expand_vector(second, self.RANK)
+        assert [e.required_tier for e in a] == [e.required_tier for e in b]
+        assert len(_EXPAND_CACHE) - before == grew  # no second slot
