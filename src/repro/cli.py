@@ -41,15 +41,19 @@ from repro.bench.tables import format_table
 from repro.cluster.spec import paper_cluster_spec
 from repro.core.replication_vector import ReplicationVector
 from repro.obs import (
+    HealthMonitor,
     ObsCapture,
+    SloMonitor,
     analysis_json,
     analyze_trace,
+    default_read_rules,
     read_trace_file,
     tier_report_data,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
 )
+from repro.fs.invariants import collect_violations
 from repro.obs.analyze import TraceParseError
 from repro.util.units import format_bytes, format_rate, parse_bytes
 from repro.workloads.dfsio import Dfsio
@@ -102,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dfsio.add_argument("--seed", type=int, default=0)
     dfsio.add_argument("--racks", type=int, default=1)
+    dfsio.add_argument(
+        "--slo", action="store_true",
+        help="run the stock SLO burn-rate rules and live invariant "
+        "health checks during the benchmark (implies observability)",
+    )
+    dfsio.add_argument(
+        "--alerts-out", default=None, metavar="PATH",
+        help="write the alert timeline as JSONL (with --slo; "
+        ".gz compresses)",
+    )
     _add_observability_flags(dfsio)
 
     slive = sub.add_parser("slive", help="namespace stress test vs HDFS")
@@ -221,9 +235,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_dfsio(args: argparse.Namespace) -> int:
     spec = paper_cluster_spec(racks=args.racks, seed=args.seed)
     fs = build_deployment(args.deployment, spec=spec, seed=args.seed)
-    if args.metrics_out or args.trace_out:
+    with_slo = args.slo or bool(args.alerts_out)
+    if args.metrics_out or args.trace_out or with_slo:
         fs.obs.enable()
-    bench = Dfsio(fs)
+    monitors: tuple = ()
+    slo_monitor = None
+    if with_slo:
+        slo_monitor = SloMonitor(fs, rules=default_read_rules())
+        health = HealthMonitor(fs, sink=slo_monitor.sink)
+        monitors = (slo_monitor, health)
+    bench = Dfsio(fs, monitors=monitors)
     vector = _parse_vector(args.vector)
     write = bench.write(
         parse_bytes(args.size), parallelism=args.parallelism, rep_vector=vector
@@ -247,8 +268,45 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
     )
     if read.locality_fraction is not None:
         print(f"node-local read fraction: {read.locality_fraction:.2f}")
+    if slo_monitor is not None:
+        _print_watch_summary(slo_monitor)
+        if args.alerts_out:
+            write_jsonl(slo_monitor.sink.timeline, args.alerts_out)
+            print(f"alerts written to {args.alerts_out}")
     _export_observability(fs.obs, args)
     return 0
+
+
+def _print_watch_summary(monitor: SloMonitor) -> None:
+    """The live-health one-screen summary after an --slo run."""
+    summary = monitor.watch_summary()
+    firing = summary["alerts_firing"]
+    status = f"FIRING: {', '.join(firing)}" if firing else "ok"
+    print()
+    print(
+        f"slo watch: {summary['rules']} rules, {summary['ticks']} ticks, "
+        f"{summary['alerts_emitted']} transitions — {status}"
+    )
+    rows = []
+    for entry in summary["slos"]:
+        burn = max(entry["burn_rates"].values(), default=0.0)
+        rows.append(
+            [
+                entry["slo"] + (f"/{entry['group']}" if entry["group"] else ""),
+                f"{entry['events']:.0f}",
+                f"{entry['errors']:.0f}",
+                f"{burn:.2f}",
+                _format_seconds(entry.get("p99")),
+            ]
+        )
+    if rows:
+        print(
+            format_table(
+                ["slo", "events", "errors", "burn", "p99"],
+                rows,
+                title="objectives over the trailing long window",
+            )
+        )
 
 
 def cmd_slive(args: argparse.Namespace) -> int:
@@ -289,11 +347,18 @@ def cmd_report(args: argparse.Namespace) -> int:
         # covers anything instrumented during cluster/FS bring-up.
         fs = build_deployment(args.deployment, spec=spec)
     if args.json:
+        health = collect_violations(fs)
         data = {
             "deployment": args.deployment,
             **tier_report_data(fs),
             "engine": {"events_processed": fs.engine.events_processed},
             "metrics": fs.obs.metrics.snapshot(),
+            "watch": {
+                "healthy": not any(health.values()),
+                "invariants": {
+                    check: len(found) for check, found in health.items()
+                },
+            },
         }
         print(json.dumps(data, sort_keys=True, indent=2))
         return 0
@@ -426,6 +491,53 @@ def _print_analysis_text(analysis: dict, top: int) -> None:
             title=f"stragglers: slowest {len(straggler_rows)} spans",
         )
     )
+
+    alerts = analysis.get("alerts")
+    if alerts and alerts["count"]:
+        firing = alerts["firing_at_end"]
+        status = f"still firing: {', '.join(firing)}" if firing else "all clear"
+        print()
+        print(f"alerts: {alerts['count']} transitions — {status}")
+        timeline_rows = [
+            [
+                f"{entry['time']:.4f}",
+                entry["source"],
+                entry["alert"] + (
+                    f"/{entry['group']}" if entry["group"] else ""
+                ),
+                entry["state"],
+                entry["severity"] or "-",
+            ]
+            for entry in alerts["timeline"]
+        ]
+        print(
+            format_table(
+                ["time", "source", "alert", "state", "severity"],
+                timeline_rows,
+                title="alert timeline",
+            )
+        )
+        detection_rows = [
+            [
+                d["alert"] + (f"/{d['group']}" if d["group"] else ""),
+                d["fault"] or "-",
+                _format_seconds(d["fault_at"]),
+                _format_seconds(d["fired_at"]),
+                _format_seconds(d["detection_delay"]),
+                _format_seconds(d["time_to_clear"]),
+            ]
+            for d in alerts["detections"]
+        ]
+        if detection_rows:
+            print()
+            print(
+                format_table(
+                    ["alert", "fault", "fault at", "fired at",
+                     "detection delay", "time to clear"],
+                    detection_rows,
+                    title="fault → alert detection",
+                )
+            )
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:

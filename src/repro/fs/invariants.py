@@ -28,8 +28,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.fs.system import OctopusFileSystem
 
 
-def accounting_violations(fs: "OctopusFileSystem") -> list[str]:
-    """Capacity accounting and replica-uniqueness violations."""
+def accounting_violations(
+    fs: "OctopusFileSystem", live: bool = False
+) -> list[str]:
+    """Capacity accounting and replica-uniqueness violations.
+
+    ``live=True`` relaxes the two conditions that only hold on a
+    quiesced system: in-flight writes legitimately hold reservations
+    (checked for range instead of zero), and the used-bytes total lags
+    the block map while transfers commit (skipped). Everything else —
+    range sanity and replica uniqueness — must hold at every instant.
+    """
     violations: list[str] = []
     # Unreachable (silent) nodes keep their data and stay in the block
     # map, so they count; failed media/nodes hold only garbage bytes.
@@ -44,20 +53,31 @@ def accounting_violations(fs: "OctopusFileSystem") -> list[str]:
                 f"{medium.medium_id}: used={medium.used} out of "
                 f"[0, {medium.capacity}]"
             )
-        if medium.reserved != 0:
+        if live:
+            if (
+                medium.reserved < 0
+                or medium.used + medium.reserved > medium.capacity
+            ):
+                violations.append(
+                    f"{medium.medium_id}: reservation {medium.reserved} "
+                    f"outside remaining capacity"
+                )
+        elif medium.reserved != 0:
             violations.append(
                 f"{medium.medium_id}: dangling reservation of "
                 f"{medium.reserved} bytes"
             )
-    total_used = sum(m.used for m in surviving)
-    expected = sum(
-        meta.block.size * len(meta.replicas)
-        for meta in fs.master.block_map.values()
-    )
-    if total_used != expected:
-        violations.append(
-            f"cluster used bytes {total_used} != block map total {expected}"
+    if not live:
+        total_used = sum(m.used for m in surviving)
+        expected = sum(
+            meta.block.size * len(meta.replicas)
+            for meta in fs.master.block_map.values()
         )
+        if total_used != expected:
+            violations.append(
+                f"cluster used bytes {total_used} != block map total "
+                f"{expected}"
+            )
     for meta in fs.master.block_map.values():
         media_ids = [r.medium.medium_id for r in meta.replicas]
         if len(media_ids) != len(set(media_ids)):
@@ -123,6 +143,36 @@ def readability_violations(
                 f"{path}: read {got} bytes, expected {inode.length}"
             )
     return violations
+
+
+#: Categories :func:`collect_violations` can evaluate mid-run. The
+#: readability check is deliberately absent: it issues real reads
+#: (nested ``engine.run``), which is only safe on a quiesced system.
+LIVE_CHECKS = ("accounting", "replication")
+
+
+def collect_violations(
+    fs: "OctopusFileSystem",
+    checks: tuple[str, ...] = LIVE_CHECKS,
+) -> dict[str, list[str]]:
+    """Non-asserting invariant sweep, per category.
+
+    Returns ``{category: [violation, ...]}`` for every requested
+    category (empty lists included), so a live health monitor can track
+    each category's state independently. ``replication`` violations are
+    *expected* transiently while repair is in flight — callers decide
+    how long a violation must persist before it matters.
+    """
+    collectors = {
+        # Live mode: in-flight writes hold reservations legitimately.
+        "accounting": lambda fs: accounting_violations(fs, live=True),
+        "replication": replication_violations,
+        "readability": readability_violations,
+    }
+    unknown = [c for c in checks if c not in collectors]
+    if unknown:
+        raise ValueError(f"unknown invariant checks: {unknown}")
+    return {check: collectors[check](fs) for check in checks}
 
 
 def check_system_invariants(

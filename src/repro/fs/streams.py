@@ -403,6 +403,9 @@ class FSDataInputStream:
                 obs.metrics.histogram("block_read_seconds").observe(
                     span.duration
                 )
+                obs.metrics.histogram(
+                    "tier_read_seconds", tier=tier
+                ).observe(span.duration)
                 span.end(tier=tier, attempts=attempts)
             return verified
         if span is not None:

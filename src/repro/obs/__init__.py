@@ -34,6 +34,7 @@ from typing import Callable
 
 from repro.obs.analyze import (
     Trace,
+    alert_report,
     analysis_json,
     analyze_trace,
     critical_path,
@@ -52,17 +53,28 @@ from repro.obs.export import (
     tier_report_data,
     tier_utilization_rows,
     to_jsonl,
+    validate_alert_records,
     validate_trace_records,
     write_jsonl,
     write_metrics,
 )
+from repro.obs.health import HealthMonitor
 from repro.obs.registry import (
     NULL_INSTRUMENT,
     NULL_REGISTRY,
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.slo import (
+    AlertSink,
+    AvailabilitySlo,
+    BurnRateRule,
+    LatencySlo,
+    SloMonitor,
+    default_read_rules,
+)
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.windows import QuantileSketch, WindowedCounts, WindowedSketch
 
 __all__ = [
     "Observability",
@@ -80,6 +92,18 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "validate_trace_records",
+    "validate_alert_records",
+    "QuantileSketch",
+    "WindowedSketch",
+    "WindowedCounts",
+    "LatencySlo",
+    "AvailabilitySlo",
+    "BurnRateRule",
+    "AlertSink",
+    "SloMonitor",
+    "HealthMonitor",
+    "default_read_rules",
+    "alert_report",
     "prometheus_text",
     "metrics_json",
     "write_metrics",

@@ -26,6 +26,7 @@ byte-identical reports.
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator
@@ -79,7 +80,15 @@ def iter_trace_records(
 
 
 def read_trace_file(path: str, on_error: str = "raise") -> "Trace":
-    """Read a JSONL trace file into a :class:`Trace`."""
+    """Read a JSONL trace file (optionally ``.gz``) into a :class:`Trace`.
+
+    A path ending in ``.gz`` is transparently gunzipped, so scaled-run
+    artifacts written with ``--trace-out trace.jsonl.gz`` analyze the
+    same as plain files.
+    """
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return read_trace(handle, on_error=on_error)
     with open(path, "r", encoding="utf-8") as handle:
         return read_trace(handle, on_error=on_error)
 
@@ -410,6 +419,100 @@ def stragglers(trace: Trace, top: int = 5) -> list[dict]:
 
 
 # ----------------------------------------------------------------------
+# Alerts and detection delay
+# ----------------------------------------------------------------------
+def alert_report(trace: Trace) -> dict:
+    """Alert timeline + fault→alert detection delays from one trace.
+
+    The live monitors (:mod:`repro.obs.slo`, :mod:`repro.obs.health`)
+    mirror every alert transition as a ``slo.alert`` / ``health.alert``
+    tracer event, and the fault injector marks every applied fault with
+    a ``fault.<kind>`` event — so the trace alone carries the full
+    detection story. For each alert *firing*, the detection delay is
+    measured against the most recent fault applied at or before it
+    (``None`` when no fault preceded it: an organic alert); time to
+    clear is the gap to the same alert key's next ``resolved``.
+    """
+    alerts = []
+    faults = []
+    for event in trace.events:
+        name = event.get("name", "")
+        if name in ("slo.alert", "health.alert"):
+            alerts.append(event)
+        elif name.startswith("fault."):
+            faults.append(event)
+    timeline = []
+    resolve_times: dict[tuple, list[float]] = {}
+    for event in alerts:
+        attrs = event.get("attrs", {})
+        if attrs.get("state") == "resolved":
+            key = (event["name"], attrs.get("alert"), attrs.get("group", ""))
+            resolve_times.setdefault(key, []).append(event["time"])
+    detections = []
+    for event in alerts:
+        attrs = event.get("attrs", {})
+        entry = {
+            "time": event["time"],
+            "source": event["name"].split(".")[0],
+            "alert": attrs.get("alert"),
+            "state": attrs.get("state"),
+            "severity": attrs.get("severity"),
+            "group": attrs.get("group", ""),
+        }
+        timeline.append(entry)
+        if attrs.get("state") != "firing":
+            continue
+        cause = None
+        for fault in faults:
+            if fault["time"] <= event["time"]:
+                cause = fault
+            else:
+                break
+        key = (event["name"], attrs.get("alert"), attrs.get("group", ""))
+        cleared = next(
+            (t for t in resolve_times.get(key, []) if t >= event["time"]),
+            None,
+        )
+        detections.append(
+            {
+                "alert": attrs.get("alert"),
+                "group": attrs.get("group", ""),
+                "fired_at": event["time"],
+                "fault": cause["name"] if cause is not None else None,
+                "fault_at": cause["time"] if cause is not None else None,
+                "detection_delay": (
+                    event["time"] - cause["time"] if cause is not None
+                    else None
+                ),
+                "cleared_at": cleared,
+                "time_to_clear": (
+                    cleared - event["time"] if cleared is not None else None
+                ),
+            }
+        )
+    return {
+        "count": len(timeline),
+        "firing_at_end": sorted(
+            {
+                (e["alert"] or "") + (f"/{e['group']}" if e["group"] else "")
+                for e in timeline
+                if e["state"] == "firing"
+                and not any(
+                    o["alert"] == e["alert"]
+                    and o["group"] == e["group"]
+                    and o["state"] == "resolved"
+                    and o["time"] >= e["time"]
+                    for o in timeline
+                )
+            }
+        ),
+        "faults_seen": len(faults),
+        "timeline": timeline,
+        "detections": detections,
+    }
+
+
+# ----------------------------------------------------------------------
 # The full report
 # ----------------------------------------------------------------------
 def analyze_trace(trace: Trace, top: int = 5) -> dict:
@@ -438,6 +541,7 @@ def analyze_trace(trace: Trace, top: int = 5) -> dict:
         "flame": aggregate_spans(trace),
         "tiers": aggregate_tiers(trace),
         "stragglers": stragglers(trace, top=top),
+        "alerts": alert_report(trace),
     }
 
 

@@ -40,6 +40,10 @@ def _lane(record: dict) -> str:
             tier = "+".join(str(t) for t in attrs["tiers"])
         return f"flow {tier}" if tier else "flow"
     if record.get("kind") == "event":
+        # Monitoring transitions get their own lane so burn alerts and
+        # health flips line up visually against faults and transfers.
+        if name in ("slo.alert", "health.alert"):
+            return "alerts"
         return "events"
     prefix = name.split(".", 1)[0]
     return prefix if prefix else "spans"

@@ -8,12 +8,31 @@ byte-identical exports.
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import IO, TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fs.system import OctopusFileSystem
     from repro.obs.registry import MetricsRegistry
+
+
+def _write_text(text: str, path: str) -> None:
+    """Write text to ``path``, gzip-compressed when it ends in ``.gz``.
+
+    The gzip stream is built with ``mtime=0`` and no embedded filename,
+    so compressed artifacts depend only on their content — as
+    byte-deterministic as the plain-text ones.
+    """
+    if path.endswith(".gz"):
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(
+                fileobj=raw, mode="wb", mtime=0, filename=""
+            ) as handle:
+                handle.write(text.encode("utf-8"))
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
 
 
 # ----------------------------------------------------------------------
@@ -28,8 +47,7 @@ def to_jsonl(records: Iterable[dict]) -> str:
 
 
 def write_jsonl(records: Iterable[dict], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_jsonl(records))
+    _write_text(to_jsonl(records), path)
 
 
 def validate_trace_records(records: Iterable[dict]) -> list[str]:
@@ -193,12 +211,58 @@ def metrics_json(registry: "MetricsRegistry") -> str:
 
 
 def write_metrics(registry: "MetricsRegistry", path: str) -> None:
-    """Write metrics to ``path`` — JSON if it ends in ``.json``, else
-    Prometheus text exposition."""
+    """Write metrics to ``path`` — JSON if it ends in ``.json`` or
+    ``.json.gz``, else Prometheus text exposition; a trailing ``.gz``
+    gzip-compresses either format deterministically."""
     text = (
         metrics_json(registry)
-        if path.endswith(".json")
+        if path.endswith((".json", ".json.gz"))
         else prometheus_text(registry)
     )
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
+    _write_text(text, path)
+
+
+# ----------------------------------------------------------------------
+# Alert timelines
+# ----------------------------------------------------------------------
+def validate_alert_records(records: Iterable[dict]) -> list[str]:
+    """Schema-check alert records; return a list of problems (empty = ok).
+
+    Beyond per-record shape, checks stream-level consistency: sim
+    timestamps never go backwards, and each alert key's states
+    alternate (a resolve must follow a firing, and vice versa).
+    """
+    problems: list[str] = []
+    last_time: float | None = None
+    state: dict[tuple, str] = {}
+    for index, record in enumerate(records):
+        missing = {"kind", "source", "name", "state", "severity", "group",
+                   "time", "details"} - record.keys()
+        if missing:
+            problems.append(f"record {index}: missing {sorted(missing)}")
+            continue
+        if record["kind"] != "alert":
+            problems.append(
+                f"record {index}: kind {record['kind']!r} != 'alert'"
+            )
+        if record["state"] not in ("firing", "resolved"):
+            problems.append(
+                f"record {index}: unknown state {record['state']!r}"
+            )
+            continue
+        if last_time is not None and record["time"] < last_time:
+            problems.append(f"record {index}: time goes backwards")
+        last_time = record["time"]
+        key = (record["source"], record["name"], record["group"])
+        previous = state.get(key)
+        if previous == record["state"]:
+            problems.append(
+                f"record {index}: {record['name']!r} repeated state "
+                f"{record['state']!r} without a transition"
+            )
+        if previous is None and record["state"] == "resolved":
+            problems.append(
+                f"record {index}: {record['name']!r} resolved before firing"
+            )
+        state[key] = record["state"]
+    return problems

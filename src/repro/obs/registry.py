@@ -23,6 +23,14 @@ state, and allocates no per-event objects — instrumented hot paths stay
 near-zero-cost when observability is off. Callers are still expected to
 guard label-building with ``if obs.enabled:`` so the label ``dict``
 itself is never constructed on the disabled path.
+
+Live consumers (the SLO monitor in :mod:`repro.obs.slo`) subscribe to
+instrument updates through :meth:`MetricsRegistry.watch` rather than
+polling snapshots: each ``(kind, name)`` pair carries one shared
+watcher list that matching instruments hold a reference to, so the
+per-update cost with no watchers registered is a single falsy check on
+the instrument's ``watchers`` slot, and :meth:`NullRegistry.watch` is a
+no-op.
 """
 
 from __future__ import annotations
@@ -45,17 +53,21 @@ class Counter:
     """A monotonically increasing total."""
 
     kind = "counter"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "watchers")
 
     def __init__(self, name: str, labels: LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self.watchers: list | None = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self, amount)
 
     def data(self) -> dict:
         return {"value": self.value}
@@ -65,21 +77,31 @@ class Gauge:
     """A value that can move in both directions."""
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "watchers")
 
     def __init__(self, name: str, labels: LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self.watchers: list | None = None
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self, self.value)
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self, self.value)
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self, self.value)
 
     def data(self) -> dict:
         return {"value": self.value}
@@ -90,7 +112,7 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
-                 "total", "min", "max")
+                 "total", "min", "max", "watchers")
 
     def __init__(
         self,
@@ -106,6 +128,7 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.watchers: list | None = None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -114,6 +137,9 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self, value)
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[index] += 1
@@ -191,7 +217,7 @@ class TimeSeries:
     """A gauge that remembers every sample with its simulated timestamp."""
 
     kind = "timeseries"
-    __slots__ = ("name", "labels", "samples", "_clock")
+    __slots__ = ("name", "labels", "samples", "_clock", "watchers")
 
     def __init__(
         self, name: str, labels: LabelKey, clock: Callable[[], float]
@@ -200,9 +226,13 @@ class TimeSeries:
         self.labels = labels
         self.samples: list[tuple[float, float]] = []
         self._clock = clock
+        self.watchers: list | None = None
 
     def sample(self, value: float) -> None:
         self.samples.append((self._clock(), float(value)))
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self, self.samples[-1][1])
 
     @property
     def last(self) -> float | None:
@@ -220,6 +250,7 @@ class MetricsRegistry:
     def __init__(self, clock: Callable[[], float] | None = None) -> None:
         self._clock = clock or (lambda: 0.0)
         self._instruments: dict[tuple[str, str, LabelKey], object] = {}
+        self._watchers: dict[tuple[str, str], list] = {}
 
     def now(self) -> float:
         return self._clock()
@@ -229,8 +260,29 @@ class MetricsRegistry:
         instrument = self._instruments.get(key)
         if instrument is None:
             instrument = factory(name, key[2])
+            if self._watchers:
+                # The shared list is attached by reference: watchers
+                # registered later reach this instrument for free.
+                instrument.watchers = self._watchers.get((kind, name))
             self._instruments[key] = instrument
         return instrument
+
+    def watch(self, kind: str, name: str, callback: Callable) -> None:
+        """Subscribe ``callback(instrument, value)`` to metric updates.
+
+        Fires on every update of any instrument named ``name`` of kind
+        ``kind`` (all label sets), existing or future, with the
+        *observed* value — the histogram observation, counter
+        increment, gauge/timeseries value. Watchers must not mint or
+        mutate instruments from inside the callback.
+        """
+        watchers = self._watchers.get((kind, name))
+        if watchers is None:
+            watchers = self._watchers[(kind, name)] = []
+        watchers.append(callback)
+        for (k, n, _), instrument in self._instruments.items():
+            if k == kind and n == name:
+                instrument.watchers = watchers
 
     def counter(self, name: str, **labels: str) -> Counter:
         return self._get("counter", Counter, name, labels)  # type: ignore[return-value]
@@ -303,6 +355,7 @@ class _NullInstrument:
     total = 0.0
     mean = 0.0
     last = None
+    watchers = None
 
     __slots__ = ()
 
@@ -358,6 +411,9 @@ class NullRegistry:
         return NULL_INSTRUMENT
 
     def find(self, kind: str = "", name: str = "", **labels: str) -> None:
+        return None
+
+    def watch(self, kind: str = "", name: str = "", callback=None) -> None:
         return None
 
     def instruments(self) -> Iterator:

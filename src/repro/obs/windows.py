@@ -1,0 +1,299 @@
+"""Streaming windowed aggregation over simulation time.
+
+The offline analytics in :mod:`repro.obs.analyze` answer "where did the
+time go" *after* a run; this module provides the primitives that answer
+"how are we doing *right now*" while the run is still in flight:
+
+* :class:`QuantileSketch` — a bounded-error streaming quantile sketch
+  in the DDSketch mold: logarithmically-spaced fixed buckets with
+  relative accuracy ``alpha``, integer bucket counts (so the sketch is
+  **insertion-order independent**), and cheap lossless ``merge``. The
+  estimate returned for any quantile is within ``alpha`` relative error
+  of the exact rank statistic, a bound the Hypothesis property suite
+  checks against brute-force sorting.
+* :class:`WindowedSketch` — a ring of per-time-bucket sketches over the
+  simulation clock. Observations land in the tumbling bucket covering
+  ``now``; a *sliding* query merges the buckets overlapping
+  ``(now - window, now]``, so one structure serves every window width
+  up to its retention. Window edges are quantized to ``bucket_width``
+  — the documented granularity of detection timing.
+* :class:`WindowedCounts` — the same ring for good/bad event counts,
+  yielding windowed error rates and, through :func:`burn_rate`, the
+  SRE-style error-budget burn rate the alert rules in
+  :mod:`repro.obs.slo` evaluate.
+
+Everything is driven by an injected ``clock`` (``engine.now``), holds
+only integers and input floats, and never reads the wall clock — two
+identically-seeded runs build identical window state at every tick.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "QuantileSketch",
+    "WindowedSketch",
+    "WindowedCounts",
+    "burn_rate",
+]
+
+#: Default relative-error bound for quantile sketches.
+DEFAULT_ALPHA = 0.01
+
+
+class QuantileSketch:
+    """Fixed-bucket, mergeable, order-independent quantile sketch.
+
+    Non-negative values only (the sketch tracks latencies and sizes).
+    Positive values map to bucket ``ceil(log_gamma(value))`` with
+    ``gamma = (1 + alpha) / (1 - alpha)``; each bucket's midpoint
+    estimate ``2 * gamma^k / (gamma + 1)`` is within ``alpha`` relative
+    error of every value the bucket covers. Zeros get their own exact
+    bucket. State is bucket counts (ints) plus exact ``min``/``max``,
+    so two sketches fed the same multiset of values in any order are
+    equal — the determinism the property suite asserts.
+    """
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "_buckets", "_zeros",
+                 "count", "min", "max")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def add(self, value: float, count: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"sketch values must be >= 0, got {value}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if value == 0.0:
+            self._zeros += count
+        else:
+            key = math.ceil(math.log(value) / self._log_gamma)
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        self.count += count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (alphas must match)."""
+        if other.alpha != self.alpha:
+            raise ConfigurationError(
+                f"cannot merge sketches with alpha {self.alpha} and "
+                f"{other.alpha}"
+            )
+        for key, count in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        self._zeros += other._zeros
+        self.count += other.count
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile estimate; ``None`` on an empty sketch.
+
+        Walks buckets in value order to the one containing the item of
+        rank ``floor(q * (count - 1))`` (0-indexed) and returns that
+        bucket's midpoint estimate, clamped to the exact ``[min, max]``
+        — clamping only ever moves the estimate *toward* the true
+        value, so the ``alpha`` relative-error bound survives it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        rank = math.floor(q * (self.count - 1))  # 0-indexed target
+        if rank < self._zeros:
+            return 0.0
+        running = self._zeros
+        for key in sorted(self._buckets):
+            running += self._buckets[key]
+            if running > rank:
+                estimate = 2.0 * self._gamma ** key / (self._gamma + 1.0)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # unreachable unless float drift; safe answer
+
+    def quantiles(self) -> dict[str, float]:
+        """Snapshot percentiles p50/p90/p99 (empty dict if no data)."""
+        if self.count == 0:
+            return {}
+        return {
+            "p50": self.quantile(0.50),  # type: ignore[dict-item]
+            "p90": self.quantile(0.90),  # type: ignore[dict-item]
+            "p99": self.quantile(0.99),  # type: ignore[dict-item]
+        }
+
+    def data(self) -> dict:
+        """JSON-serializable, deterministic state summary."""
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "quantiles": self.quantiles(),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            self.alpha == other.alpha
+            and self.count == other.count
+            and self._zeros == other._zeros
+            and self.min == other.min
+            and self.max == other.max
+            and self._buckets == other._buckets
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QuantileSketch alpha={self.alpha} count={self.count} "
+            f"buckets={len(self._buckets)}>"
+        )
+
+
+class _TimeBucketRing:
+    """Shared machinery: per-tumbling-bucket state with retention.
+
+    Bucket ``i`` covers sim time ``[i * width, (i + 1) * width)``.
+    Buckets older than ``retention`` behind the newest write are
+    evicted, so memory stays bounded by ``retention / width`` entries
+    regardless of run length.
+    """
+
+    __slots__ = ("clock", "width", "_keep", "_entries")
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        bucket_width: float,
+        retention: float,
+    ) -> None:
+        if bucket_width <= 0:
+            raise ConfigurationError("bucket_width must be positive")
+        if retention < bucket_width:
+            raise ConfigurationError("retention must cover >= one bucket")
+        self.clock = clock
+        self.width = float(bucket_width)
+        self._keep = int(math.ceil(retention / bucket_width)) + 1
+        self._entries: dict[int, object] = {}
+
+    def _bucket_index(self, t: float) -> int:
+        return int(t // self.width)
+
+    def _entry(self, factory) -> object:
+        index = self._bucket_index(self.clock())
+        entry = self._entries.get(index)
+        if entry is None:
+            entry = factory()
+            self._entries[index] = entry
+            floor = index - self._keep
+            for stale in [i for i in self._entries if i < floor]:
+                del self._entries[stale]
+        return entry
+
+    def _window_entries(self, window: float, now: float | None) -> list:
+        """Entries of the buckets overlapping ``(now - window, now]``."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        at = self.clock() if now is None else now
+        last = self._bucket_index(at)
+        first = self._bucket_index(max(0.0, at - window))
+        return [
+            self._entries[i]
+            for i in range(first, last + 1)
+            if i in self._entries
+        ]
+
+
+class WindowedSketch(_TimeBucketRing):
+    """Sliding-window quantiles: one :class:`QuantileSketch` per bucket."""
+
+    __slots__ = ("alpha",)
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        bucket_width: float,
+        retention: float,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> None:
+        super().__init__(clock, bucket_width, retention)
+        self.alpha = alpha
+
+    def observe(self, value: float) -> None:
+        self._entry(lambda: QuantileSketch(self.alpha)).add(value)
+
+    def sketch(self, window: float, now: float | None = None) -> QuantileSketch:
+        """The merged sketch over ``(now - window, now]``."""
+        merged = QuantileSketch(self.alpha)
+        for entry in self._window_entries(window, now):
+            merged.merge(entry)
+        return merged
+
+    def quantile(
+        self, q: float, window: float, now: float | None = None
+    ) -> float | None:
+        return self.sketch(window, now=now).quantile(q)
+
+
+class WindowedCounts(_TimeBucketRing):
+    """Sliding-window good/bad event counts → windowed error rates."""
+
+    __slots__ = ()
+
+    def record(self, bad: bool, count: float = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        entry = self._entry(lambda: [0, 0])
+        entry[1 if bad else 0] += count
+
+    def totals(
+        self, window: float, now: float | None = None
+    ) -> tuple[float, float]:
+        """``(good, bad)`` totals over ``(now - window, now]``."""
+        good = bad = 0
+        for entry in self._window_entries(window, now):
+            good += entry[0]
+            bad += entry[1]
+        return good, bad
+
+    def error_rate(
+        self, window: float, now: float | None = None
+    ) -> float | None:
+        """Bad fraction over the window; ``None`` with no events."""
+        good, bad = self.totals(window, now=now)
+        total = good + bad
+        return bad / total if total else None
+
+
+def burn_rate(error_rate: float | None, budget: float) -> float:
+    """How many times faster than sustainable the budget is burning.
+
+    ``budget`` is the SLO's allowed error fraction (``1 - target``); a
+    burn rate of 1.0 spends exactly the budget, ``1/budget`` means
+    every event is an error. ``None``/empty windows burn nothing.
+    """
+    if budget <= 0:
+        raise ConfigurationError(f"error budget must be positive, got {budget}")
+    if error_rate is None:
+        return 0.0
+    return error_rate / budget

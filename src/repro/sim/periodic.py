@@ -5,8 +5,11 @@ The background daemons in :class:`~repro.fs.system.OctopusFileSystem`
 interval, do work, repeat while a flag is set. The tiering engine needs
 the same shape, so the pattern is factored here once.
 
-The loop *waits first*: starting a periodic process never fires the
-callback at the current instant, so attaching one to an otherwise idle
+The loop *waits first* (``initial_delay``, defaulting to the interval,
+lets the first firing land off the shared interval grid so co-scheduled
+daemons don't all tick at the same instants): starting a periodic
+process never fires the callback at the current instant, so attaching
+one to an otherwise idle
 engine and draining it with a bare ``engine.run()`` is safe as long as
 :meth:`PeriodicProcess.stop` is called first (same contract as
 ``stop_services``). The running flag is re-checked after every wait, so
@@ -33,12 +36,19 @@ class PeriodicProcess:
         callback: Callable[[], object],
         interval: float,
         name: str = "periodic",
+        initial_delay: float | None = None,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError("periodic interval must be positive")
+        if initial_delay is not None and initial_delay <= 0:
+            raise ConfigurationError("initial_delay must be positive")
         self.engine = engine
         self.callback = callback
         self.interval = float(interval)
+        self.initial_delay = (
+            float(initial_delay) if initial_delay is not None
+            else float(interval)
+        )
         self.name = name
         self.ticks = 0
         self.process: "Process | None" = None
@@ -59,8 +69,10 @@ class PeriodicProcess:
         self._running = False
 
     def _loop(self) -> Generator:
+        wait = self.initial_delay
         while self._running:
-            yield self.engine.timeout(self.interval)
+            yield self.engine.timeout(wait)
+            wait = self.interval
             if not self._running:
                 return
             self.callback()

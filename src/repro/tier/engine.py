@@ -97,6 +97,7 @@ class TieringEngine:
         half_life: float = DEFAULT_HALF_LIFE,
         memory_tier: str = "MEMORY",
         decision_log_limit: int = 1000,
+        monitor=None,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError("tiering interval must be positive")
@@ -104,6 +105,10 @@ class TieringEngine:
             raise ConfigurationError(f"no tier named {memory_tier!r}")
         self.system = system
         self.policy = policy or StaticVectorPolicy()
+        #: Optional :class:`repro.obs.slo.SloMonitor`; when set, each
+        #: observation carries its live burn rates and firing alerts so
+        #: policies can react to SLO pressure, not just heat.
+        self.monitor = monitor
         self.interval = float(interval)
         self.memory_tier = memory_tier
         self.heat = HeatTracker(half_life)
@@ -221,12 +226,19 @@ class TieringEngine:
         histogram = self.system.obs.metrics.find("histogram", "block_read_seconds")
         if histogram is not None:
             read_p99 = histogram.quantile(0.99)
+        burn_rates: tuple = ()
+        alerts_firing: tuple = ()
+        if self.monitor is not None:
+            burn_rates = self.monitor.burn_snapshot()
+            alerts_firing = self.monitor.firing()
         return ObservedState(
             now=now,
             half_life=self.heat.half_life,
             files=tuple(files),
             tiers=tiers,
             read_p99=read_p99,
+            burn_rates=burn_rates,
+            alerts_firing=alerts_firing,
         )
 
     # ------------------------------------------------------------------

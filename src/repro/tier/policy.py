@@ -88,11 +88,24 @@ class ObservedState:
     #: p99 of ``block_read_seconds`` at observation time (None when the
     #: metrics registry is disabled or saw no reads yet).
     read_p99: float | None = None
+    #: Long-window error-budget burn rates from an attached
+    #: :class:`repro.obs.slo.SloMonitor` — ``("rule" or "rule/group",
+    #: burn)`` pairs in deterministic order; empty with no monitor.
+    burn_rates: tuple[tuple[str, float], ...] = ()
+    #: Alert keys currently firing on the attached monitor(s).
+    alerts_firing: tuple[str, ...] = ()
 
     def tier(self, name: str) -> TierObservation | None:
         for tier in self.tiers:
             if tier.name == name:
                 return tier
+        return None
+
+    def burn_rate(self, rule: str) -> float | None:
+        """The burn for one rule key, or ``None`` if not tracked."""
+        for key, burn in self.burn_rates:
+            if key == rule:
+                return burn
         return None
 
 

@@ -83,11 +83,17 @@ class Dfsio:
         base_dir: str = "/benchmarks/DFSIO",
         rng: DeterministicRng | None = None,
         sample_interval: float = 10.0,
+        monitors: tuple = (),
     ) -> None:
         self.system = system
         self.base_dir = base_dir
         self.rng = rng or DeterministicRng(system.cluster.spec.seed, "dfsio")
         self.sample_interval = sample_interval
+        #: Live monitors (``SloMonitor`` / ``HealthMonitor``) to run
+        #: while a phase drives the engine. Each phase starts them and
+        #: stops them again so the post-phase engine drain stays clean;
+        #: window and alert state persists across phases.
+        self.monitors = tuple(monitors)
 
     # ------------------------------------------------------------------
     # Phases
@@ -132,8 +138,10 @@ class Dfsio:
         sampler = engine.process(
             self._sampler(done, samples, base_bytes), name="dfsio-sampler"
         )
+        self._start_monitors()
         engine.run(done)
         elapsed = engine.now - start
+        self._stop_monitors()
         engine.run(sampler)
         if obs.enabled:
             obs.tracer.event(
@@ -202,8 +210,10 @@ class Dfsio:
         sampler = engine.process(
             self._sampler(done, samples, base_bytes), name="dfsio-sampler"
         )
+        self._start_monitors()
         engine.run(done)
         elapsed = engine.now - start
+        self._stop_monitors()
         engine.run(sampler)
         if obs.enabled:
             obs.tracer.event(
@@ -231,6 +241,15 @@ class Dfsio:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _start_monitors(self) -> None:
+        for monitor in self.monitors:
+            if not monitor.running:
+                monitor.start()
+
+    def _stop_monitors(self) -> None:
+        for monitor in self.monitors:
+            monitor.stop()
+
     def _file_path(self, index: int) -> str:
         return f"{self.base_dir}/io_file_{index}"
 

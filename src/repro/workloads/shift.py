@@ -77,6 +77,8 @@ class ShiftResult:
     files: int
     phases: list[PhaseStats]
     elapsed: float
+    #: Alert records captured by any live monitors passed to ``run``.
+    alerts: list[dict] = field(default_factory=list)
 
     @property
     def post_shift(self) -> list[PhaseStats]:
@@ -176,12 +178,15 @@ class WorkloadShift:
             "MEMORY" in location.tiers for location in locations
         )
 
-    def run(self) -> ShiftResult:
+    def run(self, monitors: tuple = ()) -> ShiftResult:
         """Run every phase; the reader is one sequential engine process.
 
         Reads are spaced by ``think_time`` so any periodic management
         (tiering rounds, replication passes) interleaves with the
-        workload, exactly as it would on a busy cluster.
+        workload, exactly as it would on a busy cluster. ``monitors``
+        (``SloMonitor`` / ``HealthMonitor``) are started for the run
+        and stopped before it returns; their combined alert timeline
+        lands on :attr:`ShiftResult.alerts`.
         """
         engine = self.system.engine
         obs = self.system.obs
@@ -227,9 +232,22 @@ class WorkloadShift:
                         memory_hits=phase_stats.memory_hits,
                     )
 
+        for monitor in monitors:
+            if not monitor.running:
+                monitor.start()
         engine.run(engine.process(reader(), name="shift-reader"))
+        for monitor in monitors:
+            monitor.stop()
+        alerts: list[dict] = []
+        seen_sinks: set[int] = set()
+        for monitor in monitors:
+            # Monitors usually share one sink; merge each timeline once.
+            if id(monitor.sink) not in seen_sinks:
+                seen_sinks.add(id(monitor.sink))
+                alerts.extend(monitor.sink.timeline)
         return ShiftResult(
-            files=self.files, phases=stats, elapsed=engine.now - start
+            files=self.files, phases=stats, elapsed=engine.now - start,
+            alerts=alerts,
         )
 
     def cleanup(self) -> None:

@@ -1,0 +1,111 @@
+"""Hypothesis property tests for the quantile sketch.
+
+The sketch's three load-bearing guarantees, stated over arbitrary
+inputs rather than hand-picked ones:
+
+* **accuracy** — every quantile estimate is within ``alpha`` relative
+  error of the exact rank statistic (``sorted(values)[floor(q*(n-1))]``,
+  the same 0-indexed rule ``Histogram.quantile`` documents);
+* **mergeability** — merging sketches of any partition of a multiset
+  equals the sketch of the whole multiset, and merge is associative;
+* **determinism** — insertion order never matters.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.windows import QuantileSketch
+
+#: Positive magnitudes across many decades; extremes keep the
+#: log-bucket math honest without drowning in subnormal noise.
+values_strategy = st.lists(
+    st.floats(
+        min_value=1e-9,
+        max_value=1e12,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+quantiles_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+def exact_quantile(values, q):
+    ordered = sorted(values)
+    return ordered[math.floor(q * (len(ordered) - 1))]
+
+
+def build(values, alpha=0.01):
+    sketch = QuantileSketch(alpha=alpha)
+    for value in values:
+        sketch.add(value)
+    return sketch
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=values_strategy, q=quantiles_strategy)
+def test_quantile_within_relative_error(values, q):
+    alpha = 0.01
+    estimate = build(values, alpha).quantile(q)
+    exact = exact_quantile(values, q)
+    # Bound with a float-arithmetic epsilon: |est - exact| <= alpha*exact.
+    assert abs(estimate - exact) <= alpha * exact + 1e-12 * max(1.0, exact)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_strategy, q=quantiles_strategy)
+def test_zero_values_do_not_break_the_bound(values, q):
+    values = values + [0.0] * (len(values) // 2 + 1)
+    alpha = 0.01
+    estimate = build(values, alpha).quantile(q)
+    exact = exact_quantile(values, q)
+    assert abs(estimate - exact) <= alpha * exact + 1e-12 * max(1.0, exact)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=values_strategy,
+    cut=st.integers(min_value=0, max_value=200),
+)
+def test_merge_of_partition_equals_whole(values, cut):
+    cut = min(cut, len(values))
+    merged = build(values[:cut]).merge(build(values[cut:]))
+    assert merged == build(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=values_strategy,
+    cut_a=st.integers(min_value=0, max_value=200),
+    cut_b=st.integers(min_value=0, max_value=200),
+)
+def test_merge_is_associative(values, cut_a, cut_b):
+    lo, hi = sorted((min(cut_a, len(values)), min(cut_b, len(values))))
+    a, b, c = values[:lo], values[lo:hi], values[hi:]
+    left_first = build(a).merge(build(b)).merge(build(c))
+    right_first = build(b).merge(build(c))
+    assert build(a).merge(right_first) == left_first
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_strategy, seed=st.integers(min_value=0, max_value=2**32))
+def test_insertion_order_is_irrelevant(values, seed):
+    import random
+
+    shuffled = list(values)
+    random.Random(seed).shuffle(shuffled)
+    assert build(shuffled) == build(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_strategy)
+def test_estimates_stay_inside_observed_range(values):
+    sketch = build(values)
+    lo, hi = min(values), max(values)
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        estimate = sketch.quantile(q)
+        assert lo <= estimate <= hi

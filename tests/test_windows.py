@@ -1,0 +1,203 @@
+"""Unit tests for the streaming-window primitives of ``repro.obs.windows``.
+
+The sketch's contract is the one the SLO monitor leans on: quantile
+estimates within the configured relative error of the exact
+0-indexed-rank comparator, ``None`` on empty (matching
+``Histogram.quantile``), lossless merging, and full determinism. The
+time-bucket structures are checked against hand-computed windows on a
+fake clock.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.windows import (
+    QuantileSketch,
+    WindowedCounts,
+    WindowedSketch,
+    burn_rate,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch
+# ----------------------------------------------------------------------
+def exact_quantile(values, q):
+    """The repo's rank rule: ``sorted(values)[floor(q * (n - 1))]``."""
+    ordered = sorted(values)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def test_empty_sketch_returns_none():
+    sketch = QuantileSketch()
+    assert sketch.quantile(0.5) is None
+    assert sketch.quantiles() == {}
+    assert sketch.count == 0
+
+
+def test_alpha_must_be_a_fraction():
+    for alpha in (0.0, 1.0, -0.1, 2.0):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(alpha=alpha)
+
+
+def test_negative_values_rejected():
+    sketch = QuantileSketch()
+    with pytest.raises(ValueError):
+        sketch.add(-1.0)
+    with pytest.raises(ValueError):
+        sketch.add(1.0, count=0)
+
+
+def test_single_value_is_exact():
+    sketch = QuantileSketch()
+    sketch.add(42.0)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert sketch.quantile(q) == pytest.approx(42.0)
+
+
+def test_zero_values_tracked_exactly():
+    sketch = QuantileSketch()
+    sketch.add(0.0, count=3)
+    sketch.add(10.0)
+    assert sketch.quantile(0.0) == 0.0
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.quantile(1.0) == pytest.approx(10.0, rel=0.01)
+
+
+def test_relative_error_bound_on_known_data():
+    alpha = 0.01
+    sketch = QuantileSketch(alpha=alpha)
+    values = [0.0001 * (i * 37 % 5000 + 1) for i in range(5000)]
+    for value in values:
+        sketch.add(value)
+    for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999):
+        exact = exact_quantile(values, q)
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) <= alpha * exact + 1e-12, (
+            f"q={q}: {estimate} vs exact {exact}"
+        )
+
+
+def test_extremes_stay_within_min_max():
+    sketch = QuantileSketch()
+    for value in (3.0, 1.0, 2.0, 9.0, 0.5):
+        sketch.add(value)
+    # Estimates are clamped to the exact observed range.
+    assert sketch.quantile(0.0) == pytest.approx(0.5, rel=sketch.alpha)
+    assert sketch.quantile(0.0) >= 0.5
+    assert sketch.quantile(1.0) == pytest.approx(9.0, rel=sketch.alpha)
+    assert sketch.quantile(1.0) <= 9.0
+
+
+def test_merge_equals_union():
+    left, right, union = QuantileSketch(), QuantileSketch(), QuantileSketch()
+    for i in range(1, 500):
+        value = 0.001 * i
+        union.add(value)
+        (left if i % 2 else right).add(value)
+    left.merge(right)
+    assert left == union
+    for q in (0.1, 0.5, 0.9, 0.99):
+        assert left.quantile(q) == union.quantile(q)
+
+
+def test_merge_requires_matching_alpha():
+    with pytest.raises(ConfigurationError):
+        QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+
+def test_insertion_order_does_not_matter():
+    values = [0.01 * (i % 97 + 1) for i in range(300)]
+    forward, backward = QuantileSketch(), QuantileSketch()
+    for value in values:
+        forward.add(value)
+    for value in reversed(values):
+        backward.add(value)
+    assert forward == backward
+
+
+def test_data_round_trip_is_json_friendly():
+    import json
+
+    sketch = QuantileSketch()
+    for value in (0.5, 1.0, 2.0):
+        sketch.add(value)
+    data = sketch.data()
+    assert json.loads(json.dumps(data)) == json.loads(json.dumps(data))
+    assert data["count"] == 3
+
+
+# ----------------------------------------------------------------------
+# Windowed structures on a fake clock
+# ----------------------------------------------------------------------
+def test_windowed_counts_rates_and_eviction():
+    clock = FakeClock()
+    counts = WindowedCounts(clock, bucket_width=1.0, retention=5.0)
+    assert counts.error_rate(5.0) is None
+
+    counts.record(bad=False, count=3)
+    counts.record(bad=True)
+    assert counts.error_rate(5.0) == pytest.approx(0.25)
+
+    clock.now = 2.0
+    counts.record(bad=True)
+    # Short window only sees the newest bucket.
+    assert counts.error_rate(1.0) == pytest.approx(1.0)
+    assert counts.error_rate(5.0) == pytest.approx(2 / 5)
+
+    # Advance past retention: the old buckets evict.
+    clock.now = 30.0
+    counts.record(bad=False)
+    good, bad = counts.totals(5.0)
+    assert (good, bad) == (1.0, 0.0)
+
+
+def test_windowed_counts_validates_count():
+    counts = WindowedCounts(FakeClock(), bucket_width=1.0, retention=5.0)
+    with pytest.raises(ValueError):
+        counts.record(bad=True, count=0)
+
+
+def test_windowed_sketch_windows_slide():
+    clock = FakeClock()
+    windowed = WindowedSketch(clock, bucket_width=1.0, retention=10.0)
+    windowed.observe(1.0)
+    clock.now = 5.0
+    windowed.observe(100.0)
+    # Full window sees both; a 2s window sees only the recent value.
+    assert windowed.quantile(0.0, 10.0) == pytest.approx(1.0, rel=0.01)
+    assert windowed.quantile(0.0, 2.0) == pytest.approx(100.0, rel=0.01)
+    # An idle stretch leaves the trailing short window empty.
+    clock.now = 7.5
+    assert windowed.quantile(0.5, 1.0) is None
+
+
+def test_windowed_sketch_empty_window_is_none():
+    windowed = WindowedSketch(FakeClock(), bucket_width=1.0, retention=10.0)
+    assert windowed.quantile(0.5, 5.0) is None
+
+
+def test_burn_rate():
+    assert burn_rate(None, 0.01) == 0.0
+    assert burn_rate(0.05, 0.01) == pytest.approx(5.0)
+    assert burn_rate(0.0, 0.05) == 0.0
+    with pytest.raises(ConfigurationError):
+        burn_rate(0.5, 0.0)
+
+
+def test_bucket_ring_rejects_bad_geometry():
+    with pytest.raises(ConfigurationError):
+        WindowedCounts(FakeClock(), bucket_width=0.0, retention=5.0)
+    with pytest.raises(ConfigurationError):
+        WindowedCounts(FakeClock(), bucket_width=2.0, retention=1.0)
