@@ -22,6 +22,7 @@ The ``monitoring`` section covers the online SLO monitor:
 
 import json
 import pathlib
+import tempfile
 import time
 
 from repro import OctopusFileSystem, ReplicationVector
@@ -30,11 +31,14 @@ from repro.cluster.spec import paper_cluster_spec, small_cluster_spec
 from repro.obs import (
     AvailabilitySlo,
     BurnRateRule,
+    FlightRecorder,
     LatencySlo,
     Observability,
+    RecorderConfig,
     SloMonitor,
     default_read_rules,
     metrics_json,
+    postmortem_report,
     to_jsonl,
 )
 from repro.util.units import GB, MB
@@ -98,6 +102,7 @@ def run_observed_dfsio(scale: float, seed: int = 0) -> dict:
             **measure_monitor_invisibility(),
             **measure_chaos_detection(),
         },
+        "recorder": measure_recorder(scale),
     }
     return data
 
@@ -276,6 +281,175 @@ def measure_chaos_detection(seed: int = 0) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Flight-recorder data points
+# ----------------------------------------------------------------------
+def _per_trace_record_seconds(attached: bool, iters: int = 50_000) -> float:
+    """Best-of-3 seconds per tracer event, with/without the recorder tap."""
+    obs = Observability(enabled=True)
+    if attached:
+        FlightRecorder(obs=obs).attach()
+    tracer = obs.tracer
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(iters):
+            tracer.event("probe")
+        elapsed = time.perf_counter() - start
+        # The tracer's own stream grows unboundedly by design; clear it
+        # between rounds so the loop measures tap cost, not allocation
+        # pressure from an ever-larger list.
+        tracer.records.clear()
+        best = elapsed if best is None else min(best, elapsed)
+    return best / iters
+
+
+def _slive_recorder_wall(ops: int, attached: bool) -> tuple[float, int]:
+    """Best-of-3 wall seconds for one S-Live mix, recorder on or off."""
+    best = None
+    records = 0
+    for _ in range(3):
+        obs = Observability(enabled=True)
+        recorder = None
+        if attached:
+            recorder = FlightRecorder(obs=obs).attach()
+        slive = SLive(ops_per_type=ops, seed=0, obs=obs)
+        start = time.perf_counter()
+        slive.run(OctopusNamespaceAdapter())
+        elapsed = time.perf_counter() - start
+        if recorder is not None:
+            assert recorder.bundles == [], "clean run must not bundle"
+            records = len(obs.tracer.records)
+            recorder.detach()
+        best = elapsed if best is None else min(best, elapsed)
+    return best, records
+
+
+def _recorder_invisibility() -> bool:
+    """Attached-but-quiet recorder vs none: byte-identical exports."""
+
+    def exports(with_recorder: bool) -> tuple[str, str]:
+        fs = OctopusFileSystem(small_cluster_spec(seed=3))
+        fs.obs.enable()
+        recorder = None
+        if with_recorder:
+            recorder = FlightRecorder(fs).attach()
+        bench = Dfsio(fs, sample_interval=0.5)
+        bench.write(24 * MB, parallelism=3)
+        bench.read(parallelism=3)
+        if recorder is not None:
+            assert recorder.bundles == []
+            recorder.detach()
+        return to_jsonl(fs.obs.tracer.records), metrics_json(fs.obs.metrics)
+
+    return exports(False) == exports(True)
+
+
+def _chaos_bundle(seed: int = 0) -> dict:
+    """The scheduled-degrade scenario with the recorder attached.
+
+    Returns the bundle-shape data points: record counts, on-disk gzip
+    size (byte-stable for a given seed), ring occupancy vs configured
+    bounds, and whether the postmortem's causal chain closed.
+    """
+    fs = OctopusFileSystem(small_cluster_spec(seed=seed))
+    fs.obs.enable()
+    config = RecorderConfig(post_roll=6.0)
+    with tempfile.TemporaryDirectory() as out_dir:
+        recorder = FlightRecorder(fs, config=config, out_dir=out_dir).attach()
+        fs.client(on="worker1").write_file(
+            "/hot", size=4 * MB,
+            rep_vector=ReplicationVector.of(memory=1, hdd=1), overwrite=True,
+        )
+        engine = fs.engine
+        rule = BurnRateRule(
+            LatencySlo(
+                "read-latency", "tier_read_seconds",
+                threshold=0.01, target=0.95,
+            ),
+            threshold=4.0, long_window=2.0, short_window=0.5,
+        )
+        monitor = SloMonitor(fs, rules=[rule], interval=0.25)
+
+        def reader():
+            client = fs.client(on="worker2")
+            for _ in range(200):
+                stream = client.open("/hot")
+                yield from stream.read_proc(collect=False)
+                yield engine.timeout(0.05)
+
+        def degrader():
+            yield engine.timeout(3.0)
+            fs.faults.degrade_medium("worker1:memory0", factor=0.02)
+            yield engine.timeout(3.0)
+            fs.faults.repair_medium("worker1:memory0")
+
+        monitor.start()
+        done = engine.all_of([
+            engine.process(reader(), name="reader"),
+            engine.process(degrader(), name="degrader"),
+        ])
+        engine.run(done)
+        monitor.stop()
+        engine.run()
+        recorder.detach()
+        (bundle,) = recorder.bundles
+        (path,) = recorder.bundle_paths
+        gz_bytes = pathlib.Path(path).stat().st_size
+    report = postmortem_report(bundle)
+    sizes = recorder.ring_sizes()
+    limits = {
+        "spans": config.max_spans,
+        "events": config.max_events,
+        "metric_deltas": config.max_metric_deltas,
+        "faults": config.max_faults,
+        "health": config.max_health,
+        "alerts": config.max_alerts,
+    }
+    return {
+        "bundle_records": sum(
+            len(bundle[s])
+            for s in ("spans", "events", "metric_deltas",
+                      "faults", "health", "alerts")
+        ),
+        "bundle_gz_bytes": gz_bytes,
+        "causal_chain_complete": report["causal_chain"]["complete"],
+        "rings_within_bounds": all(
+            sizes[name] <= limit for name, limit in limits.items()
+        ),
+    }
+
+
+def measure_recorder(scale: float) -> dict:
+    """Flight-recorder overhead and bundle-shape data points.
+
+    Same gating structure as the monitoring section: the committed
+    verdicts are booleans (overhead under the bound, byte invisibility,
+    a complete causal chain, rings within their caps); raw walls and
+    per-record costs ride along un-gated.
+    """
+    ops = max(2000, int(2000 * scale))
+    _slive_recorder_wall(max(100, ops // 5), attached=True)  # warm-up
+    baseline, _ = _slive_recorder_wall(ops, attached=False)
+    attached, observed_records = _slive_recorder_wall(ops, attached=True)
+    per_record = max(
+        0.0,
+        _per_trace_record_seconds(True) - _per_trace_record_seconds(False),
+    )
+    overhead = per_record * observed_records / baseline * 100.0
+    return {
+        "slive_observed_records": observed_records,
+        # Wall-clock values are machine noise: reported, never gated.
+        "baseline_wall_s": baseline,
+        "attached_wall_s": attached,
+        "tap_overhead_per_record_us": per_record * 1e6,
+        "overhead_percent": overhead,
+        "overhead_within_bound": overhead < OVERHEAD_BOUND_PERCENT,
+        "invisible_when_quiet": _recorder_invisibility(),
+        **_chaos_bundle(),
+    }
+
+
 def test_observability_data_points(benchmark, bench_scale, record_result):
     data = benchmark.pedantic(
         run_observed_dfsio, kwargs={"scale": bench_scale}, rounds=1,
@@ -306,3 +480,17 @@ def test_observability_data_points(benchmark, bench_scale, record_result):
     assert monitoring["disabled_path_byte_identical"]
     assert monitoring["chaos_alert_transitions"] == 2  # fire + resolve
     assert 0.0 < monitoring["chaos_detection_delay_sim_s"] <= 1.0
+
+    # Flight-recorder guarantees, same structure: gated booleans plus
+    # un-gated raw walls.
+    recorder = data["recorder"]
+    assert recorder["overhead_within_bound"], (
+        f"flight-recorder overhead "
+        f"{recorder['overhead_percent']:.2f}% exceeds "
+        f"{OVERHEAD_BOUND_PERCENT}%"
+    )
+    assert recorder["invisible_when_quiet"]
+    assert recorder["causal_chain_complete"]
+    assert recorder["rings_within_bounds"]
+    assert recorder["bundle_records"] > 0
+    assert recorder["bundle_gz_bytes"] > 0

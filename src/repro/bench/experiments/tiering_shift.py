@@ -155,9 +155,28 @@ class TieringResult:
         }
 
 
-def run_policy(policy_name: str, scale: float = 1.0, seed: int = 0) -> PolicyOutcome:
-    """One seeded workload-shift run under one policy."""
+def run_policy(
+    policy_name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    recorder_out: str | None = None,
+) -> PolicyOutcome:
+    """One seeded workload-shift run under one policy.
+
+    ``recorder_out`` attaches a flight recorder for the run and dumps
+    any incident bundles into ``<recorder_out>/<policy_name>/``.
+    """
     fs = build_deployment("octopus", spec=small_cluster_spec(seed=seed), seed=seed)
+    recorder = None
+    if recorder_out is not None:
+        import os
+
+        from repro.obs import FlightRecorder
+
+        fs.obs.enable()
+        recorder = FlightRecorder(
+            fs, out_dir=os.path.join(recorder_out, policy_name)
+        ).attach()
     workload = WorkloadShift(
         fs,
         files=8,
@@ -181,6 +200,8 @@ def run_policy(policy_name: str, scale: float = 1.0, seed: int = 0) -> PolicyOut
     engine.stop()
     fs.stop_services()
     fs.await_replication()
+    if recorder is not None:
+        recorder.detach()
     return PolicyOutcome(
         policy=policy_name,
         result=result,
@@ -190,10 +211,17 @@ def run_policy(policy_name: str, scale: float = 1.0, seed: int = 0) -> PolicyOut
     )
 
 
-def run(scale: float = 1.0, seed: int = 0, policy: str = "both") -> TieringResult:
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    policy: str = "both",
+    recorder_out: str | None = None,
+) -> TieringResult:
     """Run the comparison (or a single policy with ``policy=``)."""
     names = POLICIES if policy == "both" else (policy,)
     result = TieringResult(scale=scale, seed=seed)
     for name in names:
-        result.outcomes[name] = run_policy(name, scale=scale, seed=seed)
+        result.outcomes[name] = run_policy(
+            name, scale=scale, seed=seed, recorder_out=recorder_out
+        )
     return result

@@ -41,12 +41,18 @@ from repro.bench.tables import format_table
 from repro.cluster.spec import paper_cluster_spec
 from repro.core.replication_vector import ReplicationVector
 from repro.obs import (
+    BundleError,
+    FlightRecorder,
     HealthMonitor,
     ObsCapture,
     SloMonitor,
     analysis_json,
     analyze_trace,
     default_read_rules,
+    postmortem_json,
+    postmortem_report,
+    postmortem_text,
+    read_bundle,
     read_trace_file,
     tier_report_data,
     write_chrome_trace,
@@ -55,6 +61,7 @@ from repro.obs import (
 )
 from repro.fs.invariants import collect_violations
 from repro.obs.analyze import TraceParseError
+from repro.obs.postmortem import bundle_trace_records
 from repro.util.units import format_bytes, format_rate, parse_bytes
 from repro.workloads.dfsio import Dfsio
 from repro.workloads.slive import (
@@ -156,6 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of skipping them",
     )
 
+    postmortem = sub.add_parser(
+        "postmortem", help="analyze a flight-recorder incident bundle"
+    )
+    postmortem.add_argument("bundle", metavar="BUNDLE.json[.gz]")
+    postmortem.add_argument(
+        "--json", action="store_true",
+        help="emit the full postmortem as canonical JSON",
+    )
+    postmortem.add_argument(
+        "--chrome-out", default=None, metavar="PATH",
+        help="export the bundle as a Chrome/Perfetto trace with an "
+        "incidents lane (.gz compresses)",
+    )
+    postmortem.add_argument(
+        "--top", type=_positive_int, default=5,
+        help="how many degraded critical paths to report "
+        "(positive integer, default 5)",
+    )
+
     sub.add_parser("list", help="list experiments and deployments")
     return parser
 
@@ -173,6 +199,13 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="write the structured trace as JSONL",
+    )
+    parser.add_argument(
+        "--recorder-out",
+        default=None,
+        metavar="DIR",
+        help="attach the flight recorder and dump incident bundles "
+        "(gzip JSON) into DIR when triggers fire (implies observability)",
     )
 
 
@@ -197,15 +230,24 @@ def _parse_vector(text: str | None) -> ReplicationVector | int:
 def cmd_experiment(args: argparse.Namespace) -> int:
     module = ALL_EXPERIMENTS[args.name]
     run_kwargs = {"scale": args.scale, "seed": args.seed}
-    takes_policy = "policy" in inspect.signature(module.run).parameters
+    parameters = inspect.signature(module.run).parameters
     if args.policy is not None:
-        if not takes_policy:
+        if "policy" not in parameters:
             print(
                 f"error: experiment {args.name!r} does not take --policy",
                 file=sys.stderr,
             )
             return 2
         run_kwargs["policy"] = args.policy
+    if args.recorder_out is not None:
+        if "recorder_out" not in parameters:
+            print(
+                f"error: experiment {args.name!r} does not take "
+                "--recorder-out",
+                file=sys.stderr,
+            )
+            return 2
+        run_kwargs["recorder_out"] = args.recorder_out
     if args.metrics_out or args.trace_out:
         # Experiments build their deployments internally (often several
         # per run); the capture scope enables observability on each one
@@ -236,7 +278,7 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
     spec = paper_cluster_spec(racks=args.racks, seed=args.seed)
     fs = build_deployment(args.deployment, spec=spec, seed=args.seed)
     with_slo = args.slo or bool(args.alerts_out)
-    if args.metrics_out or args.trace_out or with_slo:
+    if args.metrics_out or args.trace_out or with_slo or args.recorder_out:
         fs.obs.enable()
     monitors: tuple = ()
     slo_monitor = None
@@ -244,6 +286,9 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
         slo_monitor = SloMonitor(fs, rules=default_read_rules())
         health = HealthMonitor(fs, sink=slo_monitor.sink)
         monitors = (slo_monitor, health)
+    recorder = None
+    if args.recorder_out:
+        recorder = FlightRecorder(fs, out_dir=args.recorder_out).attach()
     bench = Dfsio(fs, monitors=monitors)
     vector = _parse_vector(args.vector)
     write = bench.write(
@@ -273,8 +318,29 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
         if args.alerts_out:
             write_jsonl(slo_monitor.sink.timeline, args.alerts_out)
             print(f"alerts written to {args.alerts_out}")
+    if recorder is not None:
+        recorder.detach()
+        _print_recorder_summary(recorder)
     _export_observability(fs.obs, args)
     return 0
+
+
+def _print_recorder_summary(recorder: FlightRecorder) -> None:
+    if recorder.incidents:
+        for summary in recorder.incidents:
+            where = f" -> {summary['path']}" if summary["path"] else ""
+            print(
+                f"incident #{summary['id']}: {summary['triggers']} "
+                f"trigger(s) at {summary['triggered_at']:.3f}s, "
+                f"{summary['records']} records{where}"
+            )
+    else:
+        print("flight recorder: no incidents")
+    if recorder.dropped_triggers:
+        print(
+            f"flight recorder: {recorder.dropped_triggers} trigger(s) "
+            "dropped (max_incidents reached)"
+        )
 
 
 def _print_watch_summary(monitor: SloMonitor) -> None:
@@ -311,11 +377,18 @@ def _print_watch_summary(monitor: SloMonitor) -> None:
 
 def cmd_slive(args: argparse.Namespace) -> int:
     obs = None
-    if args.metrics_out or args.trace_out:
+    if args.metrics_out or args.trace_out or args.recorder_out:
         from repro.obs import Observability
 
         obs = Observability(enabled=True)
     slive = SLive(ops_per_type=args.ops, seed=args.seed, obs=obs)
+    recorder = None
+    if args.recorder_out:
+        # S-Live is engine-less: incidents can't close on a timer, so
+        # detach() below seals any open one at end of run.
+        recorder = FlightRecorder(
+            obs=slive.obs, out_dir=args.recorder_out
+        ).attach()
     octo = slive.run(OctopusNamespaceAdapter())
     hdfs = slive.run(HdfsNamespaceAdapter())
     rows = [
@@ -335,6 +408,9 @@ def cmd_slive(args: argparse.Namespace) -> int:
             title=f"S-Live ({args.ops} ops per type)",
         )
     )
+    if recorder is not None:
+        recorder.detach()
+        _print_recorder_summary(recorder)
     if obs is not None:
         _export_observability(slive.obs, args)
     return 0
@@ -348,6 +424,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         fs = build_deployment(args.deployment, spec=spec)
     if args.json:
         health = collect_violations(fs)
+        # One manual sweep of a throwaway monitor, so health state is
+        # inspectable without a live monitor attached to the run.
+        monitor = HealthMonitor(fs)
+        monitor.tick()
         data = {
             "deployment": args.deployment,
             **tier_report_data(fs),
@@ -359,6 +439,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                     check: len(found) for check, found in health.items()
                 },
             },
+            "health": monitor.report(),
         }
         print(json.dumps(data, sort_keys=True, indent=2))
         return 0
@@ -568,6 +649,28 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    try:
+        bundle = read_bundle(args.bundle)
+    except BundleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = postmortem_report(bundle, top=args.top)
+    if args.json:
+        sys.stdout.write(postmortem_json(report))
+    else:
+        sys.stdout.write(postmortem_text(report))
+    if args.chrome_out:
+        write_chrome_trace(
+            bundle_trace_records(bundle, report["timeline"]),
+            args.chrome_out,
+        )
+        if not args.json:
+            print(f"chrome trace written to {args.chrome_out} "
+                  "(load at ui.perfetto.dev)")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
     print("deployments:", ", ".join(DEPLOYMENTS))
@@ -580,6 +683,7 @@ _COMMANDS = {
     "slive": cmd_slive,
     "report": cmd_report,
     "analyze": cmd_analyze,
+    "postmortem": cmd_postmortem,
     "list": cmd_list,
 }
 

@@ -44,12 +44,14 @@ from repro.obs.analyze import (
 from repro.obs.chrome import (
     chrome_trace,
     chrome_trace_json,
+    read_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
 from repro.obs.export import (
     metrics_json,
     prometheus_text,
+    read_jsonl_records,
     tier_report_data,
     tier_utilization_rows,
     to_jsonl,
@@ -59,6 +61,22 @@ from repro.obs.export import (
     write_metrics,
 )
 from repro.obs.health import HealthMonitor
+from repro.obs.postmortem import (
+    BundleError,
+    build_timeline,
+    postmortem_json,
+    postmortem_report,
+    postmortem_text,
+    read_bundle,
+    validate_bundle,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullRecorder,
+    RecorderConfig,
+    write_bundle,
+)
 from repro.obs.registry import (
     NULL_INSTRUMENT,
     NULL_REGISTRY,
@@ -91,6 +109,7 @@ __all__ = [
     "NULL_TRACER",
     "to_jsonl",
     "write_jsonl",
+    "read_jsonl_records",
     "validate_trace_records",
     "validate_alert_records",
     "QuantileSketch",
@@ -102,6 +121,18 @@ __all__ = [
     "AlertSink",
     "SloMonitor",
     "HealthMonitor",
+    "FlightRecorder",
+    "NullRecorder",
+    "RecorderConfig",
+    "NULL_RECORDER",
+    "write_bundle",
+    "read_bundle",
+    "validate_bundle",
+    "build_timeline",
+    "postmortem_report",
+    "postmortem_json",
+    "postmortem_text",
+    "BundleError",
     "default_read_rules",
     "alert_report",
     "prometheus_text",
@@ -117,6 +148,7 @@ __all__ = [
     "critical_path",
     "chrome_trace",
     "chrome_trace_json",
+    "read_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
 ]
@@ -125,7 +157,8 @@ __all__ = [
 class Observability:
     """One switchable bundle of metrics + tracing for a cluster."""
 
-    __slots__ = ("enabled", "metrics", "tracer", "last_placement", "_clock")
+    __slots__ = ("enabled", "metrics", "tracer", "recorder",
+                 "last_placement", "_clock")
 
     def __init__(
         self,
@@ -136,6 +169,11 @@ class Observability:
         self.enabled = False
         self.metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY
         self.tracer: Tracer | NullTracer = NULL_TRACER
+        #: The attached :class:`~repro.obs.recorder.FlightRecorder`, or
+        #: the shared no-op singleton — instrumented sites feed it
+        #: unconditionally (``obs.recorder.on_fault(...)``), so the
+        #: detached path costs one attribute load and a no-op call.
+        self.recorder: FlightRecorder | NullRecorder = NULL_RECORDER
         #: Side channel: the most recent placement decision's objective
         #: scores, written by ``core.moop.place_replicas`` and read by
         #: the client stream that triggered the allocation (the two are
@@ -158,6 +196,9 @@ class Observability:
         self.enabled = False
         self.metrics = NULL_REGISTRY
         self.tracer = NULL_TRACER
+        if self.recorder is not NULL_RECORDER:
+            self.recorder.detach()
+        self.recorder = NULL_RECORDER
         self.last_placement = None
         return self
 
@@ -245,12 +286,13 @@ class ObsCapture:
         import json as _json
 
         if as_json:
-            return (
-                _json.dumps(
-                    self.merged_metrics_snapshot(), sort_keys=True, indent=2
-                )
-                + "\n"
-            )
+            from repro.obs.export import SCHEMA_VERSION
+
+            document = {
+                "schema_version": SCHEMA_VERSION,
+                **self.merged_metrics_snapshot(),
+            }
+            return _json.dumps(document, sort_keys=True, indent=2) + "\n"
         sections = []
         for index, obs in enumerate(self.captured):
             sections.append(f"# run {index}\n" + prometheus_text(obs.metrics))

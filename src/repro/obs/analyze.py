@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator
 
-from repro.obs.export import validate_trace_records
+from repro.obs.export import schema_version_problem, validate_trace_records
 
 
 class TraceParseError(ValueError):
@@ -94,10 +94,23 @@ def read_trace_file(path: str, on_error: str = "raise") -> "Trace":
 
 
 def read_trace(lines: Iterable[str] | IO, on_error: str = "raise") -> "Trace":
-    """Build a :class:`Trace` from JSONL lines (any string iterable)."""
+    """Build a :class:`Trace` from JSONL lines (any string iterable).
+
+    A leading ``schema_version`` header line (written by
+    :func:`repro.obs.export.write_jsonl`) is checked and stripped; a
+    header from a newer major version raises :class:`TraceParseError`
+    with a clear upgrade message rather than surfacing as record-level
+    schema noise. Headerless streams (in-memory records, pre-versioning
+    files) read unchanged.
+    """
     problems: list[str] = []
     records = list(iter_trace_records(lines, on_error=on_error,
                                       problems=problems))
+    if records and records[0].get("kind") == "header":
+        header = records.pop(0)
+        problem = schema_version_problem(header.get("schema_version"))
+        if problem:
+            raise TraceParseError(problem)
     return Trace(records, parse_problems=problems)
 
 

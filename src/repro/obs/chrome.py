@@ -21,8 +21,11 @@ order, keys sorted by the serializer.
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Iterable
+
+from repro.obs.export import _write_text
 
 #: pid used for records that belong to no request (orphan events).
 GLOBAL_PID = 0
@@ -41,9 +44,12 @@ def _lane(record: dict) -> str:
         return f"flow {tier}" if tier else "flow"
     if record.get("kind") == "event":
         # Monitoring transitions get their own lane so burn alerts and
-        # health flips line up visually against faults and transfers.
+        # health flips line up visually against faults and transfers;
+        # postmortem timeline markers get theirs for the same reason.
         if name in ("slo.alert", "health.alert"):
             return "alerts"
+        if name.startswith("incident."):
+            return "incidents"
         return "events"
     prefix = name.split(".", 1)[0]
     return prefix if prefix else "spans"
@@ -142,12 +148,39 @@ def chrome_trace_json(records: Iterable[dict]) -> str:
 
 
 def write_chrome_trace(records: Iterable[dict], path: str) -> dict:
-    """Write the Chrome trace for *records* to *path*; returns the document."""
+    """Write the Chrome trace for *records* to *path*; returns the document.
+
+    A path ending in ``.gz`` compresses with the same pinned-header
+    gzip conventions as :func:`repro.obs.export.write_jsonl` (mtime=0,
+    no embedded filename), so compressed artifacts stay byte-stable.
+    """
     document = chrome_trace(records)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(
-            json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
-        )
+    _write_text(
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n",
+        path,
+    )
+    return document
+
+
+def read_chrome_trace(path: str) -> dict:
+    """Read a Chrome trace document back (plain or ``.gz``).
+
+    Raises :class:`ValueError` with the offending path on malformed
+    content, so the structural validator can run on compressed
+    artifacts exactly as on plain ones.
+    """
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"{path}: invalid JSON ({exc})")
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: chrome trace is not a JSON object")
     return document
 
 

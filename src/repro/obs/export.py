@@ -16,6 +16,39 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.fs.system import OctopusFileSystem
     from repro.obs.registry import MetricsRegistry
 
+#: The export format version stamped on every JSONL header and JSON
+#: document this package writes. Bump the major on breaking layout
+#: changes; readers accept any minor of the current major and reject
+#: newer majors with a clear error instead of a cryptic parse failure.
+SCHEMA_VERSION = "1.0"
+
+#: The highest major version the readers in this tree understand.
+SCHEMA_MAJOR = 1
+
+
+def header_record(stream: str | None = None) -> dict:
+    """The header line every JSONL export starts with."""
+    record = {"kind": "header", "schema_version": SCHEMA_VERSION}
+    if stream:
+        record["stream"] = stream
+    return record
+
+
+def schema_version_problem(version: object) -> str | None:
+    """Why ``version`` cannot be read by this tree (``None`` = fine)."""
+    if version is None:
+        return "header is missing schema_version"
+    try:
+        major = int(str(version).split(".", 1)[0])
+    except ValueError:
+        return f"unparseable schema_version {version!r}"
+    if major > SCHEMA_MAJOR:
+        return (
+            f"schema_version {version} is newer than the supported "
+            f"{SCHEMA_MAJOR}.x; upgrade this tool to read it"
+        )
+    return None
+
 
 def _write_text(text: str, path: str) -> None:
     """Write text to ``path``, gzip-compressed when it ends in ``.gz``.
@@ -46,8 +79,45 @@ def to_jsonl(records: Iterable[dict]) -> str:
     )
 
 
-def write_jsonl(records: Iterable[dict], path: str) -> None:
-    _write_text(to_jsonl(records), path)
+def write_jsonl(
+    records: Iterable[dict], path: str, stream: str | None = None
+) -> None:
+    """Write records as JSONL behind a ``schema_version`` header line."""
+    _write_text(to_jsonl([header_record(stream), *records]), path)
+
+
+def read_jsonl_records(path: str) -> list[dict]:
+    """Read a JSONL export back, checking and stripping its header.
+
+    A path ending in ``.gz`` is transparently gunzipped. Raises
+    :class:`ValueError` on malformed lines or a header whose major
+    schema version is newer than this tree supports. Headerless files
+    (pre-versioning exports) read fine.
+    """
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"{path}: line {lineno}: invalid JSON ({exc})")
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: line {lineno}: not a JSON object")
+        records.append(record)
+    if records and records[0].get("kind") == "header":
+        header = records.pop(0)
+        problem = schema_version_problem(header.get("schema_version"))
+        if problem:
+            raise ValueError(f"{path}: {problem}")
+    return records
 
 
 def validate_trace_records(records: Iterable[dict]) -> list[str]:
@@ -63,6 +133,11 @@ def validate_trace_records(records: Iterable[dict]) -> list[str]:
     materialized = list(records)
     for index, record in enumerate(materialized):
         kind = record.get("kind")
+        if kind == "header":
+            problem = schema_version_problem(record.get("schema_version"))
+            if problem:
+                problems.append(f"record {index}: {problem}")
+            continue
         if kind == "span":
             missing = {"name", "span_id", "trace_id", "parent_id", "start",
                        "end", "status"} - record.keys()
@@ -207,7 +282,8 @@ def tier_utilization_rows(fs: "OctopusFileSystem") -> list[list]:
 
 def metrics_json(registry: "MetricsRegistry") -> str:
     """The metrics snapshot as canonical (byte-stable) JSON."""
-    return json.dumps(registry.snapshot(), sort_keys=True, indent=2) + "\n"
+    document = {"schema_version": SCHEMA_VERSION, **registry.snapshot()}
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
 
 
 def write_metrics(registry: "MetricsRegistry", path: str) -> None:
@@ -236,6 +312,11 @@ def validate_alert_records(records: Iterable[dict]) -> list[str]:
     last_time: float | None = None
     state: dict[tuple, str] = {}
     for index, record in enumerate(records):
+        if record.get("kind") == "header":
+            problem = schema_version_problem(record.get("schema_version"))
+            if problem:
+                problems.append(f"record {index}: {problem}")
+            continue
         missing = {"kind", "source", "name", "state", "severity", "group",
                    "time", "details"} - record.keys()
         if missing:

@@ -95,6 +95,9 @@ class HealthMonitor:
         self.ticks = 0
         self._streak: dict[str, int] = {check: 0 for check in self.checks}
         self._firing: dict[str, bool] = {check: False for check in self.checks}
+        #: Sanitized findings of the most recent sweep, per check —
+        #: what ``report --json`` shows without waiting for an alert.
+        self.last_sweep: dict[str, dict] = {}
         self._periodic: PeriodicProcess | None = None
 
     @property
@@ -124,6 +127,8 @@ class HealthMonitor:
 
         self.ticks += 1
         violations = collect_violations(self.system, self.checks)
+        obs = self.system.obs
+        sweep_time = obs.now()
         for check in self.checks:
             found = violations[check]
             if found:
@@ -154,6 +159,26 @@ class HealthMonitor:
                         "page",
                         violations=0,
                     )
+        for check in self.checks:
+            found = violations[check]
+            self.last_sweep[check] = {
+                "time": sweep_time,
+                "violations": len(found),
+                "sample": sorted(
+                    sanitize_violation(v) for v in found
+                )[:_DETAIL_LIMIT],
+                "streak": self._streak[check],
+                "firing": self._firing[check],
+            }
+        obs.recorder.on_health(
+            {
+                "time": sweep_time,
+                "violations": {
+                    check: len(violations[check]) for check in self.checks
+                },
+                "firing": list(self.firing()),
+            }
+        )
 
     def firing(self) -> tuple[str, ...]:
         """Invariant categories currently in alert."""
@@ -172,4 +197,30 @@ class HealthMonitor:
             "alerts_emitted": len(
                 [r for r in self.sink.timeline if r["source"] == "health"]
             ),
+        }
+
+    def report(self) -> dict:
+        """Per-check state for ``report --json``'s ``health`` section.
+
+        Carries the last sweep's sanitized findings plus the grace
+        bookkeeping, so health is inspectable without a live monitor
+        attached — construct a monitor, call :meth:`tick` once, read
+        this.
+        """
+        return {
+            **self.summary(),
+            "grace_ticks": dict(self.grace_ticks),
+            "checks": {
+                check: self.last_sweep.get(
+                    check,
+                    {
+                        "time": None,
+                        "violations": None,
+                        "sample": [],
+                        "streak": 0,
+                        "firing": False,
+                    },
+                )
+                for check in self.checks
+            },
         }

@@ -205,6 +205,11 @@ class AlertSink:
         }
         self.timeline.append(record)
         obs = self.obs
+        # The flight recorder sees every transition (and may open an
+        # incident); the detached path is a shared no-op singleton.
+        recorder = getattr(obs, "recorder", None)
+        if recorder is not None:
+            recorder.on_alert(record)
         if obs.enabled:
             obs.tracer.event(
                 f"{source}.alert",
@@ -418,13 +423,19 @@ class SloMonitor:
     def tick(self) -> None:
         """Evaluate every rule against every group seen so far."""
         self.ticks += 1
-        for rule in self.rules:
-            slo = rule.slo
-            groups = sorted(
-                group for name, group in self._series if name == slo.name
-            )
-            for group in groups:
-                self._evaluate(rule, group)
+        try:
+            for rule in self.rules:
+                slo = rule.slo
+                groups = sorted(
+                    group for name, group in self._series if name == slo.name
+                )
+                for group in groups:
+                    self._evaluate(rule, group)
+        except Exception as exc:
+            recorder = getattr(self.obs, "recorder", None)
+            if recorder is not None:
+                recorder.on_exception(f"slo-monitor:{self.name}", exc)
+            raise
 
     def _burns(
         self, rule: BurnRateRule, group: str

@@ -78,7 +78,10 @@ class Span:
         }
         if self.attrs:
             record["attrs"] = self.attrs
-        self.tracer.records.append(record)
+        tracer = self.tracer
+        tracer.records.append(record)
+        if tracer.tap is not None:
+            tracer.tap(record)
 
     @property
     def duration(self) -> float:
@@ -115,6 +118,10 @@ class Tracer:
         self._next_id = 1
         self._stack: list[Span] = []
         self.records: list[dict] = []
+        #: Optional single subscriber called with every finished record
+        #: (the flight recorder's ring-buffer feed). ``None`` keeps the
+        #: hot path at one attribute load and one falsy check.
+        self.tap: Callable[[dict], None] | None = None
 
     def now(self) -> float:
         return self._clock()
@@ -163,6 +170,8 @@ class Tracer:
         if attrs:
             record["attrs"] = attrs
         self.records.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
 
 class _NullScope:
@@ -209,6 +218,7 @@ class NullTracer:
 
     records: list[dict] = []
     ids_issued = 0
+    tap = None
 
     def now(self) -> float:
         return 0.0

@@ -115,6 +115,8 @@ class Process(Event):
             return
         except BaseException as exc:  # noqa: BLE001 - process crashed
             self.fail(exc)
+            for listener in self.engine.crash_listeners:
+                listener(self, exc)
             return
         if not isinstance(target, Event):
             self.fail(
@@ -138,6 +140,11 @@ class SimulationEngine:
         #: Total callbacks executed; the wall-clock benchmarks divide
         #: this by elapsed real time to report simulated events/second.
         self.events_processed = 0
+        #: Called as ``listener(process, exc)`` whenever a process
+        #: generator raises instead of returning — the flight recorder
+        #: registers here so an unhandled crash can open an incident.
+        #: Empty list = one truthiness check on the failure path only.
+        self.crash_listeners: list[Callable] = []
 
     @property
     def now(self) -> float:

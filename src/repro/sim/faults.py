@@ -209,9 +209,8 @@ class FaultInjector:
     # Trace
     # ------------------------------------------------------------------
     def _record(self, kind: str, target: str, detail: str = "") -> None:
-        self.trace.append(
-            FaultRecord(self.system.engine.now, kind, target, detail)
-        )
+        record = FaultRecord(self.system.engine.now, kind, target, detail)
+        self.trace.append(record)
         # Mirror into the observability trace stream so chaos runs can
         # correlate injected faults with the degradation they cause.
         obs = self.system.cluster.obs
@@ -220,6 +219,9 @@ class FaultInjector:
                 "fault." + kind, target=target, detail=detail
             )
             obs.metrics.counter("faults_injected_total", kind=kind).inc()
+        # The flight recorder sees every applied fault (and opens an
+        # incident on damaging ones); detached = shared no-op singleton.
+        obs.recorder.on_fault(record)
 
     def trace_lines(self) -> list[str]:
         """The applied-fault log as canonical strings (seed-stable)."""

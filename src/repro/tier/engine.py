@@ -246,6 +246,15 @@ class TieringEngine:
     # ------------------------------------------------------------------
     def run_round(self) -> list[Decision]:
         """One observe → decide → apply pass; returns its decisions."""
+        try:
+            return self._run_round()
+        except Exception as exc:
+            # The policy engine is itself an actor that can cause
+            # incidents; a crashed round is flight-recorder material.
+            self.system.obs.recorder.on_exception("tiering-engine", exc)
+            raise
+
+    def _run_round(self) -> list[Decision]:
         state = self.observe()
         actions = self.policy.decide(state)
         self.stats.rounds += 1

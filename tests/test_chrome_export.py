@@ -13,6 +13,7 @@ from repro.cluster import small_cluster_spec
 from repro.obs import (
     chrome_trace,
     chrome_trace_json,
+    read_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
@@ -146,3 +147,40 @@ class TestChromeTrace:
         }
         problems = validate_chrome_trace(bad)
         assert len(problems) == 4
+
+
+class TestGzipParity:
+    """``.gz`` chrome artifacts are byte-stable and read back losslessly."""
+
+    def test_gz_bytes_stable_across_writes(self, tmp_path):
+        records = _traced_records()
+        first = tmp_path / "a.chrome.json.gz"
+        second = tmp_path / "b.chrome.json.gz"
+        write_chrome_trace(records, str(first))
+        write_chrome_trace(records, str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_gz_and_plain_agree(self, tmp_path):
+        records = _traced_records()
+        plain = tmp_path / "trace.chrome.json"
+        gz = tmp_path / "trace.chrome.json.gz"
+        write_chrome_trace(records, str(plain))
+        write_chrome_trace(records, str(gz))
+        assert read_chrome_trace(str(gz)) == json.loads(plain.read_text())
+
+    def test_validator_reads_gzipped_document(self, tmp_path):
+        gz = tmp_path / "trace.chrome.json.gz"
+        write_chrome_trace(_traced_records(), str(gz))
+        document = read_chrome_trace(str(gz))
+        assert validate_chrome_trace(document) == []
+        assert document["traceEvents"]
+
+    def test_read_rejects_non_object(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[1, 2, 3]\n")
+        try:
+            read_chrome_trace(str(path))
+        except ValueError as exc:
+            assert str(path) in str(exc)
+        else:
+            raise AssertionError("expected ValueError")

@@ -128,7 +128,7 @@ class TestObservabilityFlags:
         ]
         phases = {
             r["attrs"]["phase"] for r in records
-            if r["name"] == "workload.phase"
+            if r.get("name") == "workload.phase"
         }
         assert {"mkdir", "create", "open", "ls", "rename", "delete"} <= phases
 
@@ -208,7 +208,7 @@ class TestAnalyze:
             handle.write("%% not json %%\n")
         assert main(["analyze", str(trace_path)]) == 0
         out = capsys.readouterr().out
-        assert "problem: line 17: invalid JSON" in out
+        assert "problem: line 18: invalid JSON" in out
 
     def test_strict_fails_on_corrupt_line(self, trace_path, capsys):
         with open(trace_path, "a", encoding="utf-8") as handle:
@@ -262,3 +262,62 @@ class TestExperimentPolicyFlag:
         out = capsys.readouterr().out
         assert "static" in out
         assert "Workload shift" in out
+
+
+class TestReportHealth:
+    def test_report_json_includes_health_section(self, capsys):
+        assert main(["report", "--deployment", "octopus", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        health = data["health"]
+        assert health["ticks"] == 1
+        assert health["alerts_firing"] == []
+        for check in ("accounting", "replication"):
+            assert health["checks"][check]["violations"] == 0
+            assert health["checks"][check]["firing"] is False
+        assert health["grace_ticks"]["replication"] >= 1
+
+
+class TestRecorderFlag:
+    def test_dfsio_quiet_run_reports_no_incidents(self, tmp_path, capsys):
+        bundles = tmp_path / "bundles"
+        bundles.mkdir()
+        code = main(
+            [
+                "dfsio",
+                "--size", "128MB",
+                "--parallelism", "2",
+                "--recorder-out", str(bundles),
+            ]
+        )
+        assert code == 0
+        assert "flight recorder: no incidents" in capsys.readouterr().out
+        assert list(bundles.iterdir()) == []
+
+    def test_slive_quiet_run_reports_no_incidents(self, tmp_path, capsys):
+        bundles = tmp_path / "bundles"
+        bundles.mkdir()
+        code = main(
+            ["slive", "--ops", "50", "--recorder-out", str(bundles)]
+        )
+        assert code == 0
+        assert "flight recorder: no incidents" in capsys.readouterr().out
+        assert list(bundles.iterdir()) == []
+
+    def test_experiment_without_support_rejected(self, tmp_path, capsys):
+        code = main(
+            ["experiment", "table2", "--recorder-out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "does not take --recorder-out" in capsys.readouterr().err
+
+    def test_tiering_experiment_accepts_recorder_out(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment", "tiering",
+                "--scale", "0.1",
+                "--policy", "static",
+                "--recorder-out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "Workload shift" in capsys.readouterr().out

@@ -1,0 +1,167 @@
+"""Live-mode invariant sweeps and HealthMonitor grace-tick edges.
+
+The live accounting mode exists for exactly one reason: a mid-run sweep
+must tolerate the transient state a healthy system passes through
+(in-flight reservations, uncommitted transfers) while still catching
+real corruption. The grace-tick machinery exists for the symmetric
+reason on the alerting side: a violation that heals within its grace
+must never page. Both edges are pinned here.
+"""
+
+import pytest
+
+from repro import OctopusFileSystem
+from repro.cluster import small_cluster_spec
+from repro.fs.invariants import accounting_violations, collect_violations
+from repro.obs import HealthMonitor
+from repro.util.units import MB
+
+
+@pytest.fixture()
+def fs():
+    system = OctopusFileSystem(small_cluster_spec(seed=0))
+    system.client().write_file("/f", size=2 * MB, overwrite=True)
+    return system
+
+
+def _a_medium(fs):
+    return next(iter(fs.cluster.media.values()))
+
+
+class TestLiveAccounting:
+    def test_inflight_reservation_tolerated_live_only(self, fs):
+        medium = _a_medium(fs)
+        medium.reserve(1 * MB)
+        try:
+            assert accounting_violations(fs, live=True) == []
+            quiesced = accounting_violations(fs)
+            assert any("dangling reservation" in v for v in quiesced)
+        finally:
+            medium.release_reservation(1 * MB)
+        assert accounting_violations(fs) == []
+
+    def test_live_still_flags_overcommitted_reservation(self, fs):
+        medium = _a_medium(fs)
+        medium.reserved = medium.capacity  # used > 0, so this overcommits
+        try:
+            violations = accounting_violations(fs, live=True)
+            assert any("outside remaining capacity" in v for v in violations)
+        finally:
+            medium.reserved = 0
+
+    def test_live_still_flags_negative_reservation(self, fs):
+        medium = _a_medium(fs)
+        medium.reserved = -1
+        try:
+            violations = accounting_violations(fs, live=True)
+            assert any("outside remaining capacity" in v for v in violations)
+        finally:
+            medium.reserved = 0
+
+    def test_live_skips_cluster_used_total(self, fs):
+        # Mid-transfer the block map leads the media's used counters;
+        # only the quiesced sweep may compare the two totals.
+        medium = _a_medium(fs)
+        medium.used += 123
+        try:
+            assert accounting_violations(fs, live=True) == []
+            quiesced = accounting_violations(fs)
+            assert any("cluster used bytes" in v for v in quiesced)
+        finally:
+            medium.used -= 123
+
+    def test_collect_violations_uses_live_accounting(self, fs):
+        # The HealthMonitor path: reservations held by in-flight writes
+        # must not page.
+        medium = _a_medium(fs)
+        medium.reserve(1 * MB)
+        try:
+            assert collect_violations(fs)["accounting"] == []
+        finally:
+            medium.release_reservation(1 * MB)
+
+    def test_unknown_check_rejected(self, fs):
+        with pytest.raises(ValueError, match="unknown invariant checks"):
+            collect_violations(fs, ("accounting", "bogus"))
+
+
+class TestGraceEdges:
+    """Manually ticked monitor against a hand-planted violation."""
+
+    def make(self, fs, grace):
+        return HealthMonitor(
+            fs, checks=("accounting",), grace_ticks={"accounting": grace}
+        )
+
+    def plant(self, fs):
+        _a_medium(fs).reserved = -1  # violates even the live sweep
+
+    def clear(self, fs):
+        _a_medium(fs).reserved = 0
+
+    def test_violation_surviving_grace_fires_exactly_once(self, fs):
+        monitor = self.make(fs, grace=2)
+        self.plant(fs)
+        monitor.tick()
+        assert monitor.firing() == ()  # tick 1 of 2: within grace
+        monitor.tick()
+        assert monitor.firing() == ("invariant:accounting",)
+        monitor.tick()  # still violating: no re-fire
+        self.clear(fs)
+        firings = [
+            r for r in monitor.sink.timeline if r["state"] == "firing"
+        ]
+        assert len(firings) == 1
+        assert firings[0]["name"] == "invariant:accounting"
+        assert firings[0]["details"]["persisted_ticks"] == 2
+
+    def test_recovery_within_grace_stays_silent(self, fs):
+        monitor = self.make(fs, grace=2)
+        self.plant(fs)
+        monitor.tick()  # streak 1, below grace
+        self.clear(fs)
+        monitor.tick()  # healed: streak resets, nothing ever fired
+        self.plant(fs)
+        monitor.tick()  # a fresh streak starts at 1 again
+        self.clear(fs)
+        monitor.tick()
+        assert monitor.sink.timeline == []
+        assert monitor.firing() == ()
+
+    def test_resolution_follows_fire_once_healed(self, fs):
+        monitor = self.make(fs, grace=1)
+        self.plant(fs)
+        monitor.tick()
+        assert monitor.firing() == ("invariant:accounting",)
+        self.clear(fs)
+        monitor.tick()
+        assert monitor.firing() == ()
+        states = [r["state"] for r in monitor.sink.timeline]
+        assert states == ["firing", "resolved"]
+
+    def test_report_carries_last_sweep_and_grace(self, fs):
+        monitor = self.make(fs, grace=2)
+        before = monitor.report()
+        assert before["checks"]["accounting"]["time"] is None
+        assert before["grace_ticks"] == {"accounting": 2}
+        self.plant(fs)
+        monitor.tick()
+        try:
+            report = monitor.report()
+        finally:
+            self.clear(fs)
+        check = report["checks"]["accounting"]
+        assert check["violations"] == 1
+        assert check["streak"] == 1
+        assert check["firing"] is False  # still within grace
+        assert check["sample"]
+        assert report["ticks"] == 1
+
+    def test_clean_report_for_healthy_system(self, fs):
+        monitor = HealthMonitor(fs)
+        monitor.tick()
+        report = monitor.report()
+        assert report["alerts_firing"] == []
+        for check in ("accounting", "replication"):
+            assert report["checks"][check]["violations"] == 0
+            assert report["checks"][check]["firing"] is False

@@ -8,6 +8,7 @@ scores), fault injections land in the same trace stream, and two
 identically-seeded runs export byte-identical JSONL and metrics.
 """
 
+import json
 import os
 import tracemalloc
 
@@ -556,3 +557,105 @@ class TestDeterminism:
 
         records = [json.loads(line) for line in trace.splitlines()]
         assert validate_trace_records(records) == []
+
+
+class TestSchemaVersioning:
+    """Every JSONL export leads with a versioned header; readers check it."""
+
+    def _trace(self):
+        tracer = Tracer(FakeClock())
+        tracer.start_span("op").end()
+        return tracer.records
+
+    def test_write_jsonl_prepends_header(self, tmp_path):
+        from repro.obs.export import SCHEMA_VERSION, write_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(self._trace(), str(path), stream="trace")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {
+            "kind": "header",
+            "schema_version": SCHEMA_VERSION,
+            "stream": "trace",
+        }
+
+    def test_read_jsonl_strips_header(self, tmp_path):
+        from repro.obs.export import read_jsonl_records, write_jsonl
+
+        records = self._trace()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(records, str(path))
+        assert read_jsonl_records(str(path)) == records
+
+    def test_gz_write_read_round_trip(self, tmp_path):
+        from repro.obs.export import read_jsonl_records, write_jsonl
+
+        records = self._trace()
+        path = tmp_path / "trace.jsonl.gz"
+        write_jsonl(records, str(path))
+        assert read_jsonl_records(str(path)) == records
+
+    def test_headerless_stream_reads_unchanged(self, tmp_path):
+        from repro.obs.export import read_jsonl_records, to_jsonl
+
+        records = self._trace()
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(to_jsonl(records))
+        assert read_jsonl_records(str(path)) == records
+
+    def test_newer_major_rejected_with_clear_error(self, tmp_path):
+        from repro.obs.export import read_jsonl_records
+
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"kind": "header", "schema_version": "2.0"}\n'
+            '{"kind": "event", "name": "x", "time": 0.0,'
+            ' "trace_id": null, "parent_id": null}\n'
+        )
+        with pytest.raises(ValueError, match="newer than the supported"):
+            read_jsonl_records(str(path))
+
+    def test_same_major_newer_minor_accepted(self, tmp_path):
+        from repro.obs.export import read_jsonl_records
+
+        path = tmp_path / "minor.jsonl"
+        path.write_text('{"kind": "header", "schema_version": "1.9"}\n')
+        assert read_jsonl_records(str(path)) == []
+
+    def test_unparseable_version_rejected(self, tmp_path):
+        from repro.obs.export import read_jsonl_records
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "schema_version": "abc"}\n')
+        with pytest.raises(ValueError, match="unparseable schema_version"):
+            read_jsonl_records(str(path))
+
+    def test_read_trace_rejects_newer_major(self, tmp_path):
+        from repro.obs.analyze import TraceParseError, read_trace_file
+
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "header", "schema_version": "7.0"}\n')
+        with pytest.raises(TraceParseError, match="upgrade this tool"):
+            read_trace_file(str(path))
+
+    def test_validators_accept_their_own_headers(self):
+        from repro.obs import validate_alert_records
+        from repro.obs.export import header_record
+
+        assert validate_trace_records(
+            [header_record("trace"), *self._trace()]
+        ) == []
+        assert validate_alert_records([header_record("alerts")]) == []
+
+    def test_validators_flag_future_headers(self):
+        header = {"kind": "header", "schema_version": "3.0"}
+        problems = validate_trace_records([header])
+        assert any("newer than the supported" in p for p in problems)
+
+    def test_metrics_json_is_stamped(self):
+        registry = MetricsRegistry(FakeClock())
+        registry.counter("ops_total").inc()
+        from repro.obs.export import SCHEMA_VERSION
+
+        data = json.loads(metrics_json(registry))
+        assert data["schema_version"] == SCHEMA_VERSION
