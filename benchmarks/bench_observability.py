@@ -18,6 +18,11 @@ The ``monitoring`` section covers the online SLO monitor:
   subsystem (the differential guarantee the test suite also checks);
 * **detection** — the chaos scenario's fault→alert delay, a pure
   function of the seed and therefore gated exactly.
+
+The ``provenance`` section covers the decision ledger with the same
+structure: a per-feed microbench times the deterministic decision-record
+count (gated boolean: under 5%), byte-invisibility of the attached
+ledger on the other exports, and seed-determinism of its own .gz export.
 """
 
 import json
@@ -34,6 +39,7 @@ from repro.obs import (
     FlightRecorder,
     LatencySlo,
     Observability,
+    ProvenanceLedger,
     RecorderConfig,
     SloMonitor,
     default_read_rules,
@@ -103,6 +109,7 @@ def run_observed_dfsio(scale: float, seed: int = 0) -> dict:
             **measure_chaos_detection(),
         },
         "recorder": measure_recorder(scale),
+        "provenance": measure_provenance(scale),
     }
     return data
 
@@ -450,6 +457,111 @@ def measure_recorder(scale: float) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Provenance-ledger data points
+# ----------------------------------------------------------------------
+def _per_feed_seconds(attached: bool, iters: int = 100_000) -> float:
+    """Best-of-3 seconds per decision feed, attached vs the null path."""
+    obs = Observability(enabled=True)
+    if attached:
+        ProvenanceLedger(obs).attach()
+    ledger = obs.ledger
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(iters):
+            if ledger.enabled:
+                ledger.on_set_replication(
+                    "/probe", old="<0,0,1,0,0>", new="<1,0,1,0,0>", cas=False
+                )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best / iters
+
+
+def _dfsio_ledger_wall(attached: bool) -> tuple[float, int]:
+    """Best-of-3 wall seconds for a ledgered DFSIO round."""
+    best = None
+    records = 0
+    for _ in range(3):
+        fs = OctopusFileSystem(small_cluster_spec(seed=3))
+        fs.obs.enable()
+        ledger = ProvenanceLedger(fs.obs).attach() if attached else None
+        bench = Dfsio(fs)
+        start = time.perf_counter()
+        bench.write(24 * MB, parallelism=3)
+        bench.read(parallelism=3)
+        elapsed = time.perf_counter() - start
+        if ledger is not None:
+            ledger.detach()
+            records = len(ledger)
+        best = elapsed if best is None else min(best, elapsed)
+    return best, records
+
+
+def _ledger_invisibility() -> bool:
+    """Attached-and-busy ledger vs none: byte-identical exports."""
+
+    def exports(with_ledger: bool) -> tuple[str, str]:
+        fs = OctopusFileSystem(small_cluster_spec(seed=3))
+        fs.obs.enable()
+        ledger = ProvenanceLedger(fs.obs).attach() if with_ledger else None
+        bench = Dfsio(fs, sample_interval=0.5)
+        bench.write(24 * MB, parallelism=3)
+        bench.read(parallelism=3)
+        if ledger is not None:
+            ledger.detach()
+        return to_jsonl(fs.obs.tracer.records), metrics_json(fs.obs.metrics)
+
+    return exports(False) == exports(True)
+
+
+def _ledger_export_determinism() -> bool:
+    """Identical seeds must gzip to identical ledger bytes."""
+
+    def export_bytes() -> bytes:
+        fs = OctopusFileSystem(small_cluster_spec(seed=7))
+        fs.obs.enable()
+        ledger = ProvenanceLedger(fs.obs).attach()
+        Dfsio(fs).write(16 * MB, parallelism=2)
+        ledger.detach()
+        with tempfile.TemporaryDirectory() as out_dir:
+            path = pathlib.Path(out_dir) / "ledger.jsonl.gz"
+            ledger.export(str(path))
+            return path.read_bytes()
+
+    return export_bytes() == export_bytes()
+
+
+def measure_provenance(scale: float) -> dict:
+    """Provenance-ledger overhead and determinism data points.
+
+    Same gating structure as the recorder section: the committed
+    verdicts are booleans (feed overhead under the bound, byte
+    invisibility while busy, seed-deterministic exports) plus the
+    exactly-gated decision-record count; raw walls and per-feed costs
+    ride along un-gated.
+    """
+    del scale  # the DFSIO round is fixed-size: record counts must gate
+    baseline, _ = _dfsio_ledger_wall(attached=False)
+    attached_wall, decision_records = _dfsio_ledger_wall(attached=True)
+    per_record = max(
+        0.0, _per_feed_seconds(True) - _per_feed_seconds(False)
+    )
+    overhead = per_record * decision_records / baseline * 100.0
+    return {
+        "decision_records": decision_records,
+        # Wall-clock values are machine noise: reported, never gated.
+        "baseline_wall_s": baseline,
+        "attached_wall_s": attached_wall,
+        "feed_overhead_per_record_us": per_record * 1e6,
+        "overhead_percent": overhead,
+        "overhead_within_bound": overhead < OVERHEAD_BOUND_PERCENT,
+        "invisible_when_attached": _ledger_invisibility(),
+        "export_deterministic": _ledger_export_determinism(),
+    }
+
+
 def test_observability_data_points(benchmark, bench_scale, record_result):
     data = benchmark.pedantic(
         run_observed_dfsio, kwargs={"scale": bench_scale}, rounds=1,
@@ -494,3 +606,16 @@ def test_observability_data_points(benchmark, bench_scale, record_result):
     assert recorder["rings_within_bounds"]
     assert recorder["bundle_records"] > 0
     assert recorder["bundle_gz_bytes"] > 0
+
+    # Provenance-ledger guarantees: the attached ledger's feed cost
+    # stays under the bound, it never perturbs the other exports, and
+    # its own export is a pure function of the seed.
+    provenance = data["provenance"]
+    assert provenance["overhead_within_bound"], (
+        f"provenance feed overhead "
+        f"{provenance['overhead_percent']:.2f}% exceeds "
+        f"{OVERHEAD_BOUND_PERCENT}%"
+    )
+    assert provenance["invisible_when_attached"]
+    assert provenance["export_deterministic"]
+    assert provenance["decision_records"] > 0

@@ -79,6 +79,11 @@ RULESETS: dict[str, tuple[Rule, ...]] = {
         Rule("recorder.*_wall_s", None),
         Rule("recorder.tap_overhead_per_record_us", None),
         Rule("recorder.overhead_percent", None),
+        # Provenance-ledger walls and per-feed costs, same reasoning:
+        # decision counts and byte-stability verdicts gate exactly.
+        Rule("provenance.*_wall_s", None),
+        Rule("provenance.feed_overhead_per_record_us", None),
+        Rule("provenance.overhead_percent", None),
         Rule("*", EXACT),
     ),
     # bench_tiering: latencies, hit rates, and engine activity are all

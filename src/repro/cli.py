@@ -24,6 +24,11 @@ and Chrome/Perfetto trace export::
 
     python -m repro analyze trace.jsonl --chrome-out trace.chrome.json
 
+``explain`` — reconstruct per-replica decision chains ("why is this
+replica here?") from a provenance ledger exported with ``--ledger-out``::
+
+    python -m repro explain /bench/f0 --ledger ledger.jsonl.gz
+
 ``list`` — show the available experiments and deployment presets.
 """
 
@@ -45,20 +50,26 @@ from repro.obs import (
     FlightRecorder,
     HealthMonitor,
     ObsCapture,
+    ProvenanceLedger,
     SloMonitor,
     analysis_json,
     analyze_trace,
     default_read_rules,
+    explain,
+    explain_text,
     postmortem_json,
     postmortem_report,
     postmortem_text,
     read_bundle,
+    read_jsonl_records,
     read_trace_file,
     tier_report_data,
+    validate_ledger_records,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
 )
+from repro.fs.balancer import Balancer
 from repro.fs.invariants import collect_violations
 from repro.obs.analyze import TraceParseError
 from repro.obs.postmortem import bundle_trace_records
@@ -182,6 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(positive integer, default 5)",
     )
 
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="why is this replica here? — query a provenance ledger",
+    )
+    explain_cmd.add_argument("path", metavar="FILE_PATH")
+    explain_cmd.add_argument(
+        "--ledger", required=True, metavar="LEDGER.jsonl[.gz]",
+        help="ledger export produced by --ledger-out",
+    )
+    explain_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the decision chains as canonical JSON",
+    )
+
     sub.add_parser("list", help="list experiments and deployments")
     return parser
 
@@ -206,6 +231,14 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="attach the flight recorder and dump incident bundles "
         "(gzip JSON) into DIR when triggers fire (implies observability)",
+    )
+    parser.add_argument(
+        "--ledger-out",
+        default=None,
+        metavar="PATH",
+        help="attach the provenance ledger and write its decision "
+        "records as JSONL (.gz compresses; implies observability); "
+        "query with `repro explain`",
     )
 
 
@@ -248,6 +281,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             )
             return 2
         run_kwargs["recorder_out"] = args.recorder_out
+    if args.ledger_out is not None:
+        if "ledger_out" not in parameters:
+            print(
+                f"error: experiment {args.name!r} does not take "
+                "--ledger-out",
+                file=sys.stderr,
+            )
+            return 2
+        run_kwargs["ledger_out"] = args.ledger_out
     if args.metrics_out or args.trace_out:
         # Experiments build their deployments internally (often several
         # per run); the capture scope enables observability on each one
@@ -278,7 +320,8 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
     spec = paper_cluster_spec(racks=args.racks, seed=args.seed)
     fs = build_deployment(args.deployment, spec=spec, seed=args.seed)
     with_slo = args.slo or bool(args.alerts_out)
-    if args.metrics_out or args.trace_out or with_slo or args.recorder_out:
+    if (args.metrics_out or args.trace_out or with_slo or args.recorder_out
+            or args.ledger_out):
         fs.obs.enable()
     monitors: tuple = ()
     slo_monitor = None
@@ -289,6 +332,9 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
     recorder = None
     if args.recorder_out:
         recorder = FlightRecorder(fs, out_dir=args.recorder_out).attach()
+    ledger = None
+    if args.ledger_out:
+        ledger = ProvenanceLedger(fs.obs).attach()
     bench = Dfsio(fs, monitors=monitors)
     vector = _parse_vector(args.vector)
     write = bench.write(
@@ -321,6 +367,11 @@ def cmd_dfsio(args: argparse.Namespace) -> int:
     if recorder is not None:
         recorder.detach()
         _print_recorder_summary(recorder)
+    if ledger is not None:
+        ledger.detach()
+        ledger.export(args.ledger_out)
+        print(f"ledger written to {args.ledger_out} "
+              f"({len(ledger)} decision record(s))")
     _export_observability(fs.obs, args)
     return 0
 
@@ -377,7 +428,7 @@ def _print_watch_summary(monitor: SloMonitor) -> None:
 
 def cmd_slive(args: argparse.Namespace) -> int:
     obs = None
-    if args.metrics_out or args.trace_out or args.recorder_out:
+    if args.metrics_out or args.trace_out or args.recorder_out or args.ledger_out:
         from repro.obs import Observability
 
         obs = Observability(enabled=True)
@@ -389,6 +440,9 @@ def cmd_slive(args: argparse.Namespace) -> int:
         recorder = FlightRecorder(
             obs=slive.obs, out_dir=args.recorder_out
         ).attach()
+    ledger = None
+    if args.ledger_out:
+        ledger = ProvenanceLedger(slive.obs).attach()
     octo = slive.run(OctopusNamespaceAdapter())
     hdfs = slive.run(HdfsNamespaceAdapter())
     rows = [
@@ -411,6 +465,11 @@ def cmd_slive(args: argparse.Namespace) -> int:
     if recorder is not None:
         recorder.detach()
         _print_recorder_summary(recorder)
+    if ledger is not None:
+        ledger.detach()
+        ledger.export(args.ledger_out)
+        print(f"ledger written to {args.ledger_out} "
+              f"({len(ledger)} decision record(s))")
     if obs is not None:
         _export_observability(slive.obs, args)
     return 0
@@ -428,9 +487,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         # inspectable without a live monitor attached to the run.
         monitor = HealthMonitor(fs)
         monitor.tick()
+        balancer = Balancer(fs)
         data = {
             "deployment": args.deployment,
             **tier_report_data(fs),
+            "balancer": {
+                "threshold": balancer.threshold,
+                "spread": balancer.spread(),
+                "planned_moves": len(balancer.plan()),
+            },
             "engine": {"events_processed": fs.engine.events_processed},
             "metrics": fs.obs.metrics.snapshot(),
             "watch": {
@@ -671,6 +736,28 @@ def cmd_postmortem(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        records = read_jsonl_records(args.ledger)
+    except OSError as exc:
+        print(f"error: cannot read {args.ledger}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_ledger_records(records)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    result = explain(records, args.path)
+    if args.json:
+        print(json.dumps(result, sort_keys=True, indent=2))
+    else:
+        sys.stdout.write(explain_text(result))
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
     print("deployments:", ", ".join(DEPLOYMENTS))
@@ -684,6 +771,7 @@ _COMMANDS = {
     "report": cmd_report,
     "analyze": cmd_analyze,
     "postmortem": cmd_postmortem,
+    "explain": cmd_explain,
     "list": cmd_list,
 }
 

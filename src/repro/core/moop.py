@@ -121,6 +121,7 @@ def solve_moop(
     chosen_media: list["StorageMedium"],
     ctx: ObjectiveContext,
     objectives: Sequence[str] = ALL_OBJECTIVES,
+    capture: list | None = None,
 ) -> "StorageMedium":
     """Algorithm 1: pick the option minimizing ``‖f − z*‖``.
 
@@ -130,6 +131,10 @@ def solve_moop(
     producing bit-identical scores; custom registered objectives fall
     back to the paper's mutate-and-restore evaluation of
     ``chosen_media``.
+
+    ``capture``, when given, receives every ``(option, score)`` pair in
+    evaluation order — the provenance ledger uses it to record the
+    rejected candidates, and it stays ``None`` (zero cost) otherwise.
     """
     if not media_options:
         raise InsufficientStorageError("solve_moop called with no options")
@@ -139,6 +144,8 @@ def solve_moop(
     if scorer is not None:
         for option in media_options:
             score = scorer(option)
+            if capture is not None:
+                capture.append((option, score))
             if score < best_score:
                 best_score = score
                 best_media = option
@@ -149,6 +156,8 @@ def solve_moop(
             chosen_media.append(option)
             score = global_criterion_score(chosen_media, ctx, objectives)
             chosen_media.pop()
+            if capture is not None:
+                capture.append((option, score))
             if score < best_score:
                 best_score = score
                 best_media = option
@@ -291,6 +300,13 @@ def place_replicas(
     chosen: list["StorageMedium"] = []
     base = list(request.existing_replicas)
     pool = cluster.placeable_media()
+    # When a provenance ledger is attached, capture every entry's scored
+    # candidates so the decision record can carry the top rejected
+    # alternatives (the "why-not" evidence). Detached: both stay None
+    # and solve_moop runs its unmodified hot path.
+    obs = getattr(cluster, "obs", None)
+    ledger_on = obs is not None and obs.ledger.enabled
+    entries_detail: list[dict] | None = [] if ledger_on else None
     for entry in entries:
         try:
             options = gen_options(cluster, request, chosen, entry, pool=pool)
@@ -306,9 +322,36 @@ def place_replicas(
         if rng is not None:
             rng.shuffle(options)
         scored_against = base + chosen
-        best = solve_moop(options, scored_against, ctx, objectives)
+        cap: list | None = [] if ledger_on else None
+        best = solve_moop(options, scored_against, ctx, objectives,
+                          capture=cap)
         chosen.append(best)
-    _record_decision(cluster, request, objectives, ctx, base, chosen)
+        if cap is not None:
+            # Stable sort: the first minimal-score pair is the chosen
+            # option (solve_moop only switches on strict improvement).
+            ranked = sorted(cap, key=lambda pair: pair[1])
+            entries_detail.append(
+                {
+                    "medium": best.medium_id,
+                    "tier": best.tier_name,
+                    "node": best.node.name,
+                    "required_tier": entry.required_tier,
+                    "score": ranked[0][1],
+                    "options_considered": len(cap),
+                    "alternatives": [
+                        {
+                            "medium": m.medium_id,
+                            "tier": m.tier_name,
+                            "node": m.node.name,
+                            "score": s,
+                        }
+                        for m, s in ranked[1:4]
+                    ],
+                }
+            )
+    _record_decision(
+        cluster, request, objectives, ctx, base, chosen, entries_detail
+    )
     return chosen
 
 
@@ -319,6 +362,7 @@ def _record_decision(
     ctx: ObjectiveContext,
     base: list["StorageMedium"],
     chosen: list["StorageMedium"],
+    entries_detail: list[dict] | None = None,
 ) -> None:
     """Publish the decision's per-objective scores to observability.
 
@@ -341,6 +385,10 @@ def _record_decision(
         "chosen": [m.medium_id for m in chosen],
         "existing": [m.medium_id for m in base],
     }
+    if entries_detail is not None:
+        # Ledger-only payload; the placement.decision event below names
+        # its attrs explicitly, so traces stay byte-identical.
+        decision["entries"] = entries_detail
     obs.last_placement = decision
     obs.metrics.counter("placement_decisions_total").inc()
     for tier in {m.tier_name for m in chosen}:

@@ -52,6 +52,15 @@ class BalancerReport:
     #: max |utilization − tier mean| per tier, after balancing.
     final_spread: dict[str, float] = field(default_factory=dict)
 
+    def data(self) -> dict:
+        """JSON-serializable form (the ``repro report`` balancer line)."""
+        return {
+            "iterations": self.iterations,
+            "moves_executed": self.moves_executed,
+            "bytes_moved": self.bytes_moved,
+            "final_spread": dict(self.final_spread),
+        }
+
 
 class Balancer:
     """Tier-aware replica rebalancer.
@@ -205,24 +214,59 @@ class Balancer:
         except Exception:
             return 0
         worker = master.worker_for(move.target.node)
+        block = move.replica.block
+        obs = self.system.obs
+        span = None
+        if obs.enabled:
+            # Explicit root span: this process yields, so the implicit
+            # current-span stack cannot carry a parent across resumes
+            # (same reasoning as the master's repair process).
+            span = obs.tracer.start_span(
+                "balancer.move",
+                block=f"{block.file_path}#{block.index}",
+                source=move.replica.medium.medium_id,
+                destination=move.target.medium_id,
+                tier=move.target.tier_name,
+            )
         try:
             new_replica = yield from worker.copy_replica_proc(
-                move.replica.block,
+                block,
                 move.replica,
                 move.target,
                 move.replica.bound_tier,
+                parent=span,
             )
-        except WorkerError:
+        except WorkerError as exc:
+            if span is not None:
+                span.end("error", error=type(exc).__name__)
+                obs.metrics.counter("balancer_moves_failed_total").inc()
             return 0
+        if span is not None:
+            span.end(bytes=block.size)
+            tier = move.target.tier_name
+            obs.metrics.counter("balancer_moves_total", tier=tier).inc()
+            obs.metrics.counter(
+                "balancer_bytes_moved_total", tier=tier
+            ).inc(block.size)
+        if obs.ledger.enabled:
+            obs.ledger.on_balancer_move(
+                path=block.file_path,
+                block=f"{block.file_path}#{block.index}",
+                source=move.replica.medium.medium_id,
+                destination=move.target.medium_id,
+                tier=move.target.tier_name,
+                nbytes=block.size,
+                span=span,
+            )
         meta.replicas.append(new_replica)
         master.namespace.charge_tier_space(
-            meta.inode, new_replica.tier_name, move.replica.block.size
+            meta.inode, new_replica.tier_name, block.size
         )
         # Drop the donor copy.
         if move.replica in meta.replicas:
             meta.replicas.remove(move.replica)
         master._delete_replica_from_worker(move.replica)
         master.namespace.charge_tier_space(
-            meta.inode, move.replica.tier_name, -move.replica.block.size
+            meta.inode, move.replica.tier_name, -block.size
         )
-        return move.replica.block.size
+        return block.size

@@ -201,6 +201,7 @@ class Master:
                     if obs.enabled:
                         obs.tracer.event("worker.dead", worker=node.name)
                         obs.metrics.counter("workers_declared_dead_total").inc()
+                        obs.ledger.on_liveness("dead", node.name)
                 continue
             if record.dead or record.silent:
                 continue
@@ -215,6 +216,7 @@ class Master:
                 if obs.enabled:
                     obs.tracer.event("worker.silent", worker=node.name)
                     obs.metrics.counter("workers_declared_silent_total").inc()
+                    obs.ledger.on_liveness("silent", node.name)
         if obs.enabled:
             obs.metrics.gauge("workers_reachable").set(
                 sum(1 for r in self.workers.values() if r.reachable)
@@ -300,6 +302,8 @@ class Master:
     ) -> int:
         """Delete a path; replicas are freed immediately. Returns blocks freed."""
         blocks = self.namespace.delete(path, recursive, user)
+        if self.obs.ledger.enabled and blocks:
+            self.obs.ledger.on_delete(path, blocks=len(blocks))
         for block in blocks:
             self._drop_block(block)
         return len(blocks)
@@ -413,6 +417,7 @@ class Master:
             client_node=client_node,
         )
         obs = self.obs
+        alloc_span = None
         if obs.enabled:
             # The allocation span covers the placement decision; while it
             # is the implicit current span (this method never yields),
@@ -441,6 +446,7 @@ class Master:
                 span.annotate(placement_score=obs.last_placement["score"])
             span.end()
             obs.metrics.counter("allocations_total").inc()
+            alloc_span = span
         else:
             targets = self.placement_policy.choose_targets(self.cluster, request)
         self._check_quota_for_targets(inode, targets)
@@ -449,6 +455,16 @@ class Master:
         inode.blocks.append(block)
         meta = BlockMeta(block=block, inode=inode)
         self.block_map[block.block_id] = meta
+        if obs.ledger.enabled:
+            obs.ledger.on_placement(
+                path=inode.path(),
+                block=f"{block.file_path}#{block.index}",
+                vector=inode.rep_vector.shorthand(),
+                cause="allocate",
+                targets=targets,
+                decision=obs.last_placement,
+                span=alloc_span,
+            )
         return block, targets
 
     def _check_quota_for_targets(
@@ -614,11 +630,26 @@ class Master:
                 "under construction"
             )
         if expected is not None and current.rep_vector != expected:
+            if self.obs.ledger.enabled:
+                self.obs.ledger.on_set_replication(
+                    path,
+                    old=current.rep_vector.shorthand(),
+                    new=rep_vector.shorthand(),
+                    cas=True,
+                    outcome="stale",
+                )
             raise StaleVectorError(
                 f"vector of {path!r} is {current.rep_vector.shorthand()}, "
                 f"not the expected {expected.shorthand()}"
             )
         inode, old = self.namespace.set_replication_vector(path, rep_vector, user)
+        if self.obs.ledger.enabled:
+            self.obs.ledger.on_set_replication(
+                path,
+                old=old.shorthand(),
+                new=rep_vector.shorthand(),
+                cas=expected is not None,
+            )
         for block in inode.blocks:
             self._dirty_blocks.add(block.block_id)
         return old.diff(rep_vector)
@@ -697,6 +728,14 @@ class Master:
             self.namespace.charge_tier_space(
                 meta.inode, replica.tier_name, -meta.block.size
             )
+            if self.obs.ledger.enabled:
+                self.obs.ledger.on_replica_removed(
+                    meta.block.file_path,
+                    block=f"{meta.block.file_path}#{meta.block.index}",
+                    medium=replica.medium.medium_id,
+                    tier=replica.tier_name,
+                    cause="draining",
+                )
         removable = dict(actions.removable_tiers)
         for _ in range(actions.removals):
             replica = self._remove_one_replica(meta, removable)
@@ -734,6 +773,11 @@ class Master:
             existing_replicas=tuple(r.medium for r in meta.replicas if r.live),
             memory_enabled=True,
         )
+        obs = self.obs
+        if obs.ledger.enabled:
+            # Clear the side channel so a stale earlier decision cannot
+            # masquerade as this repair's placement scores.
+            obs.last_placement = None
         try:
             targets = self.placement_policy.choose_targets(self.cluster, request)
         except InsufficientStorageError:
@@ -755,8 +799,15 @@ class Master:
         source = next(r for r in live if r.medium is ordered[0])
         destination.reserve(meta.block.capacity)
         worker = self.worker_for(destination.node)
+        # Snapshot the placement scores and the recent fault/liveness
+        # context *now* — by the time the repair process runs, both may
+        # describe some other decision.
+        placement = obs.last_placement if obs.ledger.enabled else None
+        context = obs.ledger.recent_context()
         return self.cluster.engine.process(
-            self._repair_proc(meta, worker, source, destination, tier),
+            self._repair_proc(
+                meta, worker, source, destination, tier, placement, context
+            ),
             name=f"repair:{meta.block.block_id}",
         )
 
@@ -767,6 +818,8 @@ class Master:
         source: Replica,
         destination: "StorageMedium",
         tier: str | None,
+        placement: dict | None = None,
+        context: list | None = None,
     ) -> Generator:
         obs = self.obs
         span = None
@@ -780,6 +833,19 @@ class Master:
                 source=source.medium.medium_id,
                 destination=destination.medium_id,
             )
+        ledger_rec = None
+        if obs.ledger.enabled:
+            ledger_rec = obs.ledger.on_repair(
+                path=meta.block.file_path,
+                block=f"{meta.block.file_path}#{meta.block.index}",
+                tier=tier,
+                source=source.medium.medium_id,
+                destination=destination.medium_id,
+                destination_tier=destination.tier_name,
+                placement=placement,
+                context=context or [],
+                span=span,
+            )
         try:
             replica = yield from worker.copy_replica_proc(
                 meta.block, source, destination, tier, parent=span
@@ -789,10 +855,12 @@ class Master:
             if span is not None:
                 span.end("error", error=type(exc).__name__)
                 obs.metrics.counter("repairs_failed_total").inc()
+            obs.ledger.on_repair_outcome(ledger_rec, "failed")
             return None
         if span is not None:
             span.end()
             obs.metrics.counter("repairs_completed_total").inc()
+        obs.ledger.on_repair_outcome(ledger_rec, "completed")
         meta.replicas.append(replica)
         self.namespace.charge_tier_space(
             meta.inode, replica.tier_name, meta.block.size
@@ -817,6 +885,14 @@ class Master:
         self.namespace.charge_tier_space(
             meta.inode, replica.tier_name, -meta.block.size
         )
+        if self.obs.ledger.enabled:
+            self.obs.ledger.on_replica_removed(
+                meta.block.file_path,
+                block=f"{meta.block.file_path}#{meta.block.index}",
+                medium=replica.medium.medium_id,
+                tier=replica.tier_name,
+                cause="over_replication",
+            )
         return replica
 
     @property

@@ -61,8 +61,19 @@ from repro.obs.export import (
     write_metrics,
 )
 from repro.obs.health import HealthMonitor
+from repro.obs.provenance import (
+    DECISION_ACTIONS,
+    NULL_LEDGER,
+    NullLedger,
+    ProvenanceLedger,
+    decision_summary,
+    explain,
+    explain_text,
+    validate_ledger_records,
+)
 from repro.obs.postmortem import (
     BundleError,
+    blast_radius_decisions,
     build_timeline,
     postmortem_json,
     postmortem_report,
@@ -125,10 +136,19 @@ __all__ = [
     "NullRecorder",
     "RecorderConfig",
     "NULL_RECORDER",
+    "ProvenanceLedger",
+    "NullLedger",
+    "NULL_LEDGER",
+    "DECISION_ACTIONS",
+    "validate_ledger_records",
+    "decision_summary",
+    "explain",
+    "explain_text",
     "write_bundle",
     "read_bundle",
     "validate_bundle",
     "build_timeline",
+    "blast_radius_decisions",
     "postmortem_report",
     "postmortem_json",
     "postmortem_text",
@@ -157,7 +177,7 @@ __all__ = [
 class Observability:
     """One switchable bundle of metrics + tracing for a cluster."""
 
-    __slots__ = ("enabled", "metrics", "tracer", "recorder",
+    __slots__ = ("enabled", "metrics", "tracer", "recorder", "ledger",
                  "last_placement", "_clock")
 
     def __init__(
@@ -174,6 +194,11 @@ class Observability:
         #: unconditionally (``obs.recorder.on_fault(...)``), so the
         #: detached path costs one attribute load and a no-op call.
         self.recorder: FlightRecorder | NullRecorder = NULL_RECORDER
+        #: The attached :class:`~repro.obs.provenance.ProvenanceLedger`,
+        #: or the shared no-op singleton — decision sites gate record
+        #: construction on ``obs.ledger.enabled`` (one attribute load
+        #: and a falsy check when detached).
+        self.ledger: ProvenanceLedger | NullLedger = NULL_LEDGER
         #: Side channel: the most recent placement decision's objective
         #: scores, written by ``core.moop.place_replicas`` and read by
         #: the client stream that triggered the allocation (the two are
@@ -199,6 +224,9 @@ class Observability:
         if self.recorder is not NULL_RECORDER:
             self.recorder.detach()
         self.recorder = NULL_RECORDER
+        if self.ledger is not NULL_LEDGER:
+            self.ledger.detach()
+        self.ledger = NULL_LEDGER
         self.last_placement = None
         return self
 

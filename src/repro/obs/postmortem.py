@@ -34,6 +34,7 @@ import json
 
 from repro.obs.analyze import Trace, critical_path_report
 from repro.obs.export import schema_version_problem
+from repro.obs.provenance import decision_summary
 from repro.obs.recorder import is_heal
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "validate_bundle",
     "build_timeline",
     "blast_radius",
+    "blast_radius_decisions",
     "bundle_trace_records",
     "postmortem_report",
     "postmortem_json",
@@ -52,6 +54,10 @@ __all__ = [
 BUNDLE_SECTIONS = (
     "spans", "events", "metric_deltas", "faults", "health", "alerts"
 )
+
+#: Sections newer recorders add; validated and reported only when
+#: present, so pre-provenance bundles stay fully readable.
+OPTIONAL_SECTIONS = ("decisions",)
 
 #: Tie-break rank when several timeline entries share a timestamp: the
 #: causal story reads fault → deviation → alert → exception → action →
@@ -121,7 +127,10 @@ def validate_bundle(bundle: dict) -> list[str]:
         problems.append("incident window lo > hi")
     if not incident.get("triggers"):
         problems.append("incident has no triggers")
-    for section in BUNDLE_SECTIONS:
+    sections = BUNDLE_SECTIONS + tuple(
+        s for s in OPTIONAL_SECTIONS if s in bundle
+    )
+    for section in sections:
         records = bundle.get(section)
         if not isinstance(records, list):
             problems.append(f"section {section!r} missing or not a list")
@@ -390,6 +399,31 @@ def blast_radius(
     }
 
 
+def blast_radius_decisions(bundle: dict, timeline: list[dict]) -> list[dict]:
+    """Replica-affecting decisions inside the degraded interval.
+
+    Pulled from the bundle's optional ``decisions`` section (fed by an
+    attached provenance ledger); empty for pre-provenance bundles or
+    runs without a ledger.
+    """
+    decisions = bundle.get("decisions")
+    if not decisions:
+        return []
+    start, end = _degraded_interval(bundle, timeline)
+    return [
+        {
+            "seq": record.get("seq"),
+            "time": record["time"],
+            "action": record.get("action", ""),
+            "path": record.get("path", ""),
+            "incident": record.get("incident"),
+            "summary": decision_summary(record),
+        }
+        for record in decisions
+        if start <= record["time"] <= end
+    ]
+
+
 def degraded_critical_paths(
     bundle: dict,
     timeline: list[dict],
@@ -465,11 +499,14 @@ def postmortem_report(
         },
         "captured": {
             section: len(bundle.get(section, ()))
-            for section in BUNDLE_SECTIONS
+            for section in BUNDLE_SECTIONS + tuple(
+                s for s in OPTIONAL_SECTIONS if s in bundle
+            )
         },
         "timeline": timeline,
         "causal_chain": causal_chain(timeline),
         "blast_radius": blast_radius(bundle, timeline, trace),
+        "decisions": blast_radius_decisions(bundle, timeline),
         "critical_paths": degraded_critical_paths(
             bundle, timeline, trace, top=top
         ),
@@ -537,6 +574,14 @@ def postmortem_text(report: dict) -> str:
             if radius["tenants"] else ""
         )
     )
+    if report.get("decisions"):
+        lines.append("")
+        lines.append("decisions in the blast radius:")
+        for entry in report["decisions"]:
+            lines.append(
+                f"  {entry['time']:9.3f}s  {entry['action']:<16s} "
+                f"{entry['path']}  {entry['summary']}"
+            )
     if report["critical_paths"]:
         lines.append("")
         lines.append("degraded critical paths:")

@@ -109,6 +109,9 @@ class RecorderConfig:
     max_faults: int = 512
     max_health: int = 512
     max_alerts: int = 256
+    #: Provenance decision records mirrored from an attached
+    #: :class:`~repro.obs.provenance.ProvenanceLedger`.
+    max_decisions: int = 1024
     #: ``(kind, name)`` metric streams whose updates land in the
     #: watch-delta ring.
     watch_metrics: tuple = DEFAULT_WATCH_METRICS
@@ -122,7 +125,8 @@ class RecorderConfig:
         if self.pre_roll < 0 or self.post_roll < 0:
             raise ConfigurationError("pre_roll/post_roll must be >= 0")
         for name in ("max_spans", "max_events", "max_metric_deltas",
-                     "max_faults", "max_health", "max_alerts"):
+                     "max_faults", "max_health", "max_alerts",
+                     "max_decisions"):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be >= 1")
         if self.max_incidents < 1:
@@ -196,6 +200,7 @@ class FlightRecorder:
         self.faults: deque = deque(maxlen=c.max_faults)
         self.health: deque = deque(maxlen=c.max_health)
         self.alerts: deque = deque(maxlen=c.max_alerts)
+        self.decisions: deque = deque(maxlen=c.max_decisions)
         #: Closed incident summaries, in close order.
         self.incidents: list[dict] = []
         #: Closed bundles (always kept in memory; also written under
@@ -313,6 +318,11 @@ class FlightRecorder:
         """Fed by :meth:`repro.obs.health.HealthMonitor.tick` sweeps."""
         self.health.append(entry)
 
+    def on_decision(self, record: dict) -> None:
+        """Fed by an attached provenance ledger, so incident bundles
+        carry the replica-affecting decisions inside their window."""
+        self.decisions.append(record)
+
     def _on_crash(self, process, exc: BaseException) -> None:
         name = getattr(process, "name", "") or "anonymous"
         self.on_exception(f"process:{name}", exc)
@@ -402,6 +412,7 @@ class FlightRecorder:
             "faults": self._window(self.faults, lo, hi),
             "health": self._window(self.health, lo, hi),
             "alerts": self._window(self.alerts, lo, hi),
+            "decisions": self._window(self.decisions, lo, hi),
             "context": {
                 "watch_metrics": [list(pair) for pair in c.watch_metrics],
                 "triggers_enabled": list(c.triggers),
@@ -412,6 +423,7 @@ class FlightRecorder:
                     "faults": c.max_faults,
                     "health": c.max_health,
                     "alerts": c.max_alerts,
+                    "decisions": c.max_decisions,
                 },
             },
         }
@@ -423,7 +435,7 @@ class FlightRecorder:
             "records": sum(
                 len(bundle[section])
                 for section in ("spans", "events", "metric_deltas",
-                                "faults", "health", "alerts")
+                                "faults", "health", "alerts", "decisions")
             ),
             "path": None,
         }
@@ -450,6 +462,7 @@ class FlightRecorder:
             "faults": len(self.faults),
             "health": len(self.health),
             "alerts": len(self.alerts),
+            "decisions": len(self.decisions),
         }
 
     def dump(self) -> str:
@@ -483,6 +496,9 @@ class NullRecorder:
         pass
 
     def on_health(self, entry) -> None:
+        pass
+
+    def on_decision(self, record) -> None:
         pass
 
     def on_exception(self, component, exc) -> None:

@@ -222,6 +222,9 @@ class FaultInjector:
         # The flight recorder sees every applied fault (and opens an
         # incident on damaging ones); detached = shared no-op singleton.
         obs.recorder.on_fault(record)
+        # The provenance ledger keeps it as triggering context for the
+        # repair decisions that follow.
+        obs.ledger.on_fault(record)
 
     def trace_lines(self) -> list[str]:
         """The applied-fault log as canonical strings (seed-stable)."""

@@ -272,6 +272,7 @@ class TieringEngine:
                 decided=len(decisions),
                 applied=len(applied),
             )
+            ledger_on = obs.ledger.enabled
             for decision in decisions:
                 span.event(
                     f"tier.{decision.action.kind}",
@@ -285,6 +286,21 @@ class TieringEngine:
                     kind=decision.action.kind,
                     outcome=decision.outcome,
                 ).inc()
+                if decision.outcome == "conflict":
+                    # Lost CAS races are attributable, not silent.
+                    obs.metrics.counter("tiering_cas_conflicts_total").inc()
+                if ledger_on:
+                    obs.ledger.on_tiering(
+                        path=decision.action.path,
+                        kind=decision.action.kind,
+                        tier=decision.action.tier,
+                        heat=decision.action.heat,
+                        outcome=decision.outcome,
+                        detail=decision.detail,
+                        policy=self.policy,
+                        round_number=self.stats.rounds,
+                        span=span,
+                    )
             obs.metrics.gauge("tier_policy_cached_files").set(len(self._promoted))
             span.end()
         self.heat.prune(state.now)

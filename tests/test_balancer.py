@@ -111,3 +111,58 @@ class TestExecution:
         balancer.run()
         second = balancer.run()
         assert second.moves_executed <= 1  # effectively converged
+
+
+class TestObservability:
+    def test_moves_emit_spans_counters_and_ledger_records(self, fs):
+        from repro.obs import ProvenanceLedger
+
+        fs.obs.enable()
+        ledger = ProvenanceLedger(fs.obs).attach()
+        skew_cluster(fs)
+        report = Balancer(fs, threshold=0.002).run()
+        ledger.detach()
+        assert report.moves_executed > 0
+        spans = [
+            r
+            for r in fs.obs.tracer.records
+            if r.get("name") == "balancer.move"
+        ]
+        assert len(spans) >= report.moves_executed
+        moved = fs.obs.metrics.counter(
+            "balancer_moves_total", tier="HDD"
+        ).value
+        assert moved == report.moves_executed
+        assert (
+            fs.obs.metrics.counter(
+                "balancer_bytes_moved_total", tier="HDD"
+            ).value
+            == report.bytes_moved
+        )
+        records = [
+            r for r in ledger.records if r["action"] == "balancer_move"
+        ]
+        assert len(records) == report.moves_executed
+        for record in records:
+            assert record["tier"] == "HDD"
+            assert record["bytes"] > 0
+            assert record["source"] != record["destination"]
+            assert record["span_id"] is not None
+
+    def test_report_data_is_json_shaped(self, fs):
+        skew_cluster(fs)
+        report = Balancer(fs, threshold=0.002).run()
+        data = report.data()
+        assert set(data) == {
+            "iterations", "moves_executed", "bytes_moved", "final_spread",
+        }
+        assert data["moves_executed"] == report.moves_executed
+        import json
+
+        json.dumps(data)  # serializable
+
+    def test_balancing_without_obs_is_silent(self, fs):
+        skew_cluster(fs)
+        report = Balancer(fs, threshold=0.002).run()
+        assert report.moves_executed > 0
+        assert fs.obs.tracer.records == []

@@ -321,3 +321,92 @@ class TestRecorderFlag:
         )
         assert code == 0
         assert "Workload shift" in capsys.readouterr().out
+
+
+class TestLedgerFlag:
+    def test_dfsio_ledger_out_and_explain(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl.gz"
+        code = main(
+            [
+                "dfsio",
+                "--size", "128MB",
+                "--parallelism", "2",
+                "--ledger-out", str(ledger),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ledger written to" in out
+        assert ledger.exists()
+        code = main(
+            ["explain", "/benchmarks/DFSIO/io_file_0", "--ledger", str(ledger)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replicas (why-here):" in out
+        assert "placement" in out
+
+    def test_explain_json_is_canonical(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        main(
+            [
+                "dfsio",
+                "--size", "128MB",
+                "--parallelism", "2",
+                "--ledger-out", str(ledger),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "explain", "/benchmarks/DFSIO/io_file_0",
+                "--ledger", str(ledger), "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["path"] == "/benchmarks/DFSIO/io_file_0"
+        assert data["replicas"]
+        assert data["why_not"]
+
+    def test_explain_missing_ledger_is_error(self, tmp_path, capsys):
+        code = main(
+            ["explain", "/f", "--ledger", str(tmp_path / "missing.jsonl")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_slive_ledger_out(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        code = main(["slive", "--ops", "50", "--ledger-out", str(ledger)])
+        assert code == 0
+        assert "ledger written to" in capsys.readouterr().out
+        assert ledger.exists()
+
+    def test_experiment_without_support_rejected(self, tmp_path, capsys):
+        code = main(
+            ["experiment", "table2", "--ledger-out", str(tmp_path / "l")]
+        )
+        assert code == 2
+        assert "does not take --ledger-out" in capsys.readouterr().err
+
+    def test_tiering_experiment_accepts_ledger_out(self, tmp_path, capsys):
+        stem = tmp_path / "ledger"
+        code = main(
+            [
+                "experiment", "tiering",
+                "--scale", "0.1",
+                "--policy", "adaptive",
+                "--ledger-out", str(stem),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "ledger.adaptive.jsonl.gz").exists()
+
+    def test_report_json_includes_balancer_section(self, capsys):
+        assert main(["report", "--workers", "4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["balancer"]) == {
+            "threshold", "spread", "planned_moves",
+        }
+        assert data["balancer"]["threshold"] == 0.10

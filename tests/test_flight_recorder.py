@@ -200,7 +200,7 @@ class TestRings:
         sizes = recorder.ring_sizes()
         assert sizes == {
             "spans": 16, "events": 8, "metric_deltas": 32,
-            "faults": 4, "health": 4, "alerts": 4,
+            "faults": 4, "health": 4, "alerts": 4, "decisions": 0,
         }
         # 5000 iterations × 6 feeds must not accumulate: allow the ring
         # contents plus interpreter noise, far below unbounded growth.

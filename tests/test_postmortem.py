@@ -288,3 +288,83 @@ class TestBundleReaders:
             if r.get("name", "").startswith("incident.")
         ]
         assert len(incident_events) == len(build_timeline(bundle))
+
+
+# ----------------------------------------------------------------------
+# Decisions in the blast radius (provenance ledger + recorder composed)
+# ----------------------------------------------------------------------
+def run_crash_scenario_with_ledger():
+    """A crash-triggered incident whose window contains the repair
+    decisions that healed it."""
+    from repro.obs import ProvenanceLedger
+
+    fs = OctopusFileSystem(small_cluster_spec(seed=1))
+    fs.obs.enable()
+    recorder = FlightRecorder(
+        fs, config=RecorderConfig(pre_roll=30.0, post_roll=15.0)
+    ).attach()
+    ledger = ProvenanceLedger(fs.obs).attach()
+    fs.client(on="worker1").write_file(
+        "/crashy", size=4 * MB, rep_vector=ReplicationVector.of(hdd=2)
+    )
+    engine = fs.engine
+    fs.master.heartbeat_expiry = 4.0
+    fs.start_services(heartbeat_interval=1.0, replication_interval=1.0)
+    victim = next(
+        iter(fs.master.block_map.values())
+    ).live_replicas()[0].node.name
+
+    def crasher():
+        yield engine.timeout(2.0)
+        fs.faults.crash(victim)
+        yield engine.timeout(10.0)
+        fs.faults.restart(victim)
+        yield engine.timeout(10.0)
+
+    engine.run(engine.process(crasher(), name="crasher"))
+    fs.stop_services()
+    fs.await_replication()
+    recorder.detach()
+    ledger.detach()
+    return fs, recorder, ledger
+
+
+@pytest.fixture(scope="module")
+def crash_bundle():
+    fs, recorder, ledger = run_crash_scenario_with_ledger()
+    assert recorder.bundles, "crash never triggered an incident"
+    return recorder.bundles[0]
+
+
+def test_bundle_carries_decisions_section(crash_bundle):
+    assert "decisions" in crash_bundle
+    assert validate_bundle(crash_bundle) == []
+    actions = {r["action"] for r in crash_bundle["decisions"]}
+    assert "repair" in actions
+
+
+def test_blast_radius_decisions_in_report_and_text(crash_bundle):
+    from repro.obs.postmortem import postmortem_text
+
+    report = postmortem_report(crash_bundle)
+    assert report["captured"]["decisions"] == len(crash_bundle["decisions"])
+    repair_entries = [
+        e for e in report["decisions"] if e["action"] == "repair"
+    ]
+    assert repair_entries
+    for entry in repair_entries:
+        assert "re-replicate" in entry["summary"]
+        assert entry["incident"] == crash_bundle["incident"]["id"]
+    text = postmortem_text(report)
+    assert "decisions in the blast radius:" in text
+
+
+def test_pre_provenance_bundle_still_validates(scenario):
+    """Bundles from ledger-less runs have no decisions section and must
+    stay fully readable (the section is optional, not required)."""
+    _, _, recorder, _, _ = scenario
+    bundle = recorder.bundles[0]
+    assert "decisions" not in bundle or bundle["decisions"] == []
+    assert validate_bundle(bundle) == []
+    report = postmortem_report(bundle)
+    assert report["decisions"] == []
